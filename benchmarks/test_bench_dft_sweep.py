@@ -1,0 +1,55 @@
+"""[A3] DFT size sweep: where the acceleration crosses over.
+
+The paper evaluates one size (256 points).  "It can be configured to
+accept different DFT size" -- this ablation sweeps N and shows how the
+gain grows with problem size (the fixed Linux overhead dominates small
+transforms, the O(N^2) software cost dominates large ones).
+"""
+
+from conftest import once
+
+from repro.analysis import measure_dft_hw, measure_dft_sw
+from repro.rac.dft import dft_latency
+
+
+def test_gain_vs_size_sweep(benchmark, q15_signal):
+    sizes = (16, 64, 256)
+
+    def sweep():
+        rows = {}
+        for n in sizes:
+            hw, ok = measure_dft_hw(n, environment="linux")
+            assert ok
+            sw = measure_dft_sw(n, algorithm="direct")
+            rows[n] = (dft_latency(n), hw.total_cycles, sw.cycles)
+        return rows
+
+    rows = once(benchmark, sweep)
+    print()
+    print(f"  {'N':>5} {'Lat.':>7} {'HW':>8} {'SW':>10} {'Gain':>8}")
+    gains = {}
+    for n, (lat, hw, sw) in rows.items():
+        gains[n] = sw / hw
+        print(f"  {n:>5} {lat:>7} {hw:>8} {sw:>10} {gains[n]:>8.2f}")
+        benchmark.extra_info[str(n)] = {
+            "lat": lat, "hw": hw, "sw": sw, "gain": round(gains[n], 2)
+        }
+
+    # gain grows with N (O(N^2) software vs ~O(N log N + const) HW path)
+    assert gains[16] < gains[64] < gains[256]
+    # at 256 the win is two orders of magnitude (paper: 85x)
+    assert gains[256] > 50
+    # small transforms are dominated by the fixed overhead
+    assert gains[16] < 15
+
+
+def test_hw_time_dominated_by_overhead_at_small_n(benchmark, q15_signal):
+    def measure():
+        hw16, _ = measure_dft_hw(16, environment="linux")
+        hw256, _ = measure_dft_hw(256, environment="linux")
+        return hw16.total_cycles, hw256.total_cycles
+
+    small, large = once(benchmark, measure)
+    # 16x the data costs < 2.2x the time: fixed overheads dominate
+    assert large < 2.2 * small
+    print(f"\nHW cycles: N=16 -> {small}, N=256 -> {large}")

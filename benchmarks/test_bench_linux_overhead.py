@@ -1,0 +1,106 @@
+"""[C1/A4] Linux vs baremetal: the in-text overhead decomposition.
+
+Paper: "When running it without Linux, the DFT took 4000 cycles, which
+gives an overhead of 3000 cycles coming from Linux.  This comes from
+system calls."  Plus the Section IV design discussion: mmap (chosen)
+vs copy_to_user (rejected), and interrupt vs polling.
+"""
+
+from conftest import once
+
+from repro.analysis import measure_dft_hw
+from repro.core.program import figure4_program
+from repro.rac.dft import DFTRac
+from repro.sw.linux import LinuxCosts, LinuxRuntime
+from repro.system import RAM_BASE, SoC
+from repro.utils import fixedpoint as fp
+
+PROG = RAM_BASE + 0x1000
+IN = RAM_BASE + 0x2000
+OUT = RAM_BASE + 0x4000
+
+
+def test_baremetal_4000_linux_7000(benchmark, q15_signal):
+    def measure():
+        bare, ok_b = measure_dft_hw(256, environment="baremetal")
+        linux, ok_l = measure_dft_hw(256, environment="linux")
+        assert ok_b and ok_l
+        return bare.total_cycles, linux.total_cycles
+
+    bare, linux = once(benchmark, measure)
+    overhead = linux - bare
+    print(f"\nDFT-256 baremetal {bare} cycles, Linux {linux} cycles, "
+          f"overhead {overhead}")
+    assert 3400 <= bare <= 4600       # paper: 4000
+    assert 6400 <= linux <= 7600      # paper: 7000
+    assert 2800 <= overhead <= 3200   # paper: ~3000, "from system calls"
+    benchmark.extra_info.update(
+        {"baremetal": bare, "linux": linux, "overhead": overhead}
+    )
+
+
+def _linux_run(data_path, use_interrupt, q15_signal, n=256):
+    soc = SoC(racs=[DFTRac(n_points=n)])
+    runtime = LinuxRuntime(soc, data_path=data_path,
+                           use_interrupt=use_interrupt)
+    runtime.open_device()
+    re, im = q15_signal(n)
+    words = fp.interleave_complex(re, im)
+    staged = runtime.stage_input(IN, words)
+    result = runtime.run(figure4_program(n).words(),
+                         {0: PROG, 1: IN, 2: OUT})
+    out, fetched = runtime.fetch_output(OUT, 2 * n)
+    assert fp.deinterleave_complex(out) == fp.fft_q15(re, im)
+    return result.total_cycles + staged + fetched
+
+
+def test_mmap_beats_copy_data_path(benchmark, q15_signal):
+    """Section IV: "data copies are performance killers"."""
+    def measure():
+        return (
+            _linux_run("mmap", True, q15_signal),
+            _linux_run("copy", True, q15_signal),
+        )
+
+    mmap_cycles, copy_cycles = once(benchmark, measure)
+    print(f"\nmmap {mmap_cycles} cycles vs copy {copy_cycles} cycles")
+    assert copy_cycles > mmap_cycles
+    costs = LinuxCosts()
+    # the copy path pays >= per-word copies both ways + 2 extra syscalls
+    assert copy_cycles - mmap_cycles >= 1024 * costs.copy_per_word
+    benchmark.extra_info.update(
+        {"mmap": mmap_cycles, "copy": copy_cycles}
+    )
+
+
+def test_interrupt_beats_polling_under_linux(benchmark, q15_signal):
+    """Table I was measured in interrupt mode; polling syscalls hurt."""
+    def measure():
+        return (
+            _linux_run("mmap", True, q15_signal),
+            _linux_run("mmap", False, q15_signal),
+        )
+
+    irq_cycles, poll_cycles = once(benchmark, measure)
+    print(f"\ninterrupt {irq_cycles} cycles vs polling {poll_cycles} cycles")
+    assert poll_cycles > irq_cycles
+    benchmark.extra_info.update(
+        {"interrupt": irq_cycles, "polling": poll_cycles}
+    )
+
+
+def test_overhead_constant_across_workload_size(benchmark, q15_signal):
+    """The Linux tax is additive, not multiplicative (IDCT pays the
+    same ~3000 cycles as the DFT -- why its gain is only 1.67)."""
+    def measure():
+        out = {}
+        for n in (64, 256):
+            bare, _ = measure_dft_hw(n, environment="baremetal")
+            linux, _ = measure_dft_hw(n, environment="linux")
+            out[n] = linux.total_cycles - bare.total_cycles
+        return out
+
+    overheads = once(benchmark, measure)
+    print(f"\noverheads by size: {overheads}")
+    values = list(overheads.values())
+    assert max(values) - min(values) <= 200

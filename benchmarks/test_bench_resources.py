@@ -1,0 +1,103 @@
+"""[R1/C3] Section V resource footprint + device fit.
+
+Paper claims: the OCP (interface + controller + FIFO control) consumes
+"less than 1000 LUT and 750 FF"; FIFO memory is inferred as BRAM;
+the IDCT and DFT systems "give similar results except for the FIFO
+size and the RAC"; everything fits an Artix7 LX100T at 50 MHz.
+"""
+
+from conftest import once
+
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.idct import IDCTRac
+from repro.synth import (
+    ARTIX7_100T,
+    SPARTAN6_LX45,
+    ZYNQ_7020,
+    estimate_ocp,
+    utilization_report,
+)
+from repro.system import SoC
+
+
+def _estimate_all():
+    return {
+        "IDCT": estimate_ocp(SoC(racs=[IDCTRac()]).ocp),
+        "DFT": estimate_ocp(SoC(racs=[DFTRac(256)]).ocp),
+        "FIR": estimate_ocp(SoC(racs=[FIRRac()]).ocp),
+    }
+
+
+def test_ocp_footprint_envelope(benchmark):
+    estimates = once(benchmark, _estimate_all)
+    print()
+    for name, estimate in estimates.items():
+        overhead = estimate.ocp_overhead
+        print(f"{name:>5}: OCP overhead {overhead} | "
+              f"FIFO mem {estimate.fifo_memory.bram18} BRAM | "
+              f"RAC alone {estimate.rac}")
+        # the paper's envelope
+        assert overhead.luts < 1000
+        assert overhead.ffs < 750
+        # FIFO storage is BRAM, not logic
+        assert estimate.fifo_memory.bram18 >= 1
+        assert estimate.fifo_memory.luts == 0
+        benchmark.extra_info[name] = {
+            "ocp_luts": overhead.luts, "ocp_ffs": overhead.ffs,
+            "fifo_bram": estimate.fifo_memory.bram18,
+        }
+
+
+def test_accelerator_alone_vs_with_ocp(benchmark):
+    """The with/without-OCP synthesis comparison of Section V-B."""
+    estimates = once(benchmark, _estimate_all)
+    for name, estimate in estimates.items():
+        alone = estimate.accelerator_alone
+        with_ocp = estimate.total
+        delta = with_ocp.luts - alone.luts
+        print(f"{name:>5}: alone {alone.luts} LUT -> with OCP "
+              f"{with_ocp.luts} LUT (delta {delta})")
+        assert delta < 1000  # the added logic is the OCP envelope
+
+
+def test_idct_dft_similar_except_rac(benchmark):
+    estimates = once(benchmark, _estimate_all)
+    idct, dft = estimates["IDCT"], estimates["DFT"]
+    assert idct.parts["interface"] == dft.parts["interface"]
+    assert idct.parts["controller"] == dft.parts["controller"]
+    assert idct.rac != dft.rac
+
+
+def test_timing_closure_at_50mhz(benchmark):
+    """§V-A: "50 MHz ... no timing errors were left"."""
+    from repro.synth.timing import SPARTAN6_TECH, timing_report
+
+    def measure():
+        out = {}
+        for name, rac in (("IDCT", IDCTRac()), ("DFT", DFTRac(256))):
+            out[name] = timing_report(SoC(racs=[rac]).ocp, clock_mhz=50.0)
+        return out
+
+    reports = once(benchmark, measure)
+    print()
+    print(reports["DFT"].render())
+    for name, report in reports.items():
+        assert report.closes, f"{name}: {report.render()}"
+        assert report.fmax_mhz > 100  # ample headroom over 50 MHz
+        benchmark.extra_info[name] = report.fmax_mhz
+    # Spartan-6 closes too (the "different FPGA resources" claim)
+    slow = timing_report(SoC(racs=[IDCTRac()]).ocp, clock_mhz=50.0,
+                         technology=SPARTAN6_TECH)
+    assert slow.closes
+
+
+def test_device_fit_report(benchmark):
+    estimate = once(benchmark, lambda: estimate_ocp(SoC(racs=[DFTRac(256)]).ocp))
+    print()
+    print(utilization_report(estimate.parts, ARTIX7_100T))
+    for device in (ARTIX7_100T, SPARTAN6_LX45, ZYNQ_7020):
+        assert device.fits(estimate.total)
+        util = device.utilization(estimate.total)
+        assert util["luts"] < 0.15  # "very low footprint"
+        benchmark.extra_info[device.name] = round(util["luts"], 4)

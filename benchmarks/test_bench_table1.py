@@ -1,0 +1,66 @@
+"""[T1] Table I: Lat. / HW / SW / Gain for the IDCT and DFT.
+
+Paper values (cycles, Linux, interrupt mode):
+
+====== ===== ===== ======== =====
+        Lat.   HW       SW   Gain
+IDCT      18  3000     5000  1.67
+DFT     2485  7000  600.10^3   85
+====== ===== ===== ======== =====
+
+We assert the reproduced *shape*: latencies exact (they are calibrated
+architecture constants), HW cycle counts within a band of the paper's,
+hardware winning on both rows, and the DFT gain two orders of magnitude
+above the IDCT gain.  The absolute SW-DFT count lands ~2.5x above the
+paper's (see EXPERIMENTS.md for the bracket discussion), so the gain is
+asserted as a bracket, not an exact 85.
+"""
+
+from conftest import once
+
+from repro.analysis import render_table_one, table_one
+
+
+def test_table_one_reproduction(benchmark):
+    rows = once(benchmark, lambda: table_one(dft_points=256,
+                                             environment="linux"))
+    idct, dft = rows
+    print()
+    print(render_table_one(rows))
+
+    # Lat. column: exact (calibrated constants from the paper)
+    assert idct.lat == 18
+    assert dft.lat == 2485
+
+    # HW column: paper 3000 / 7000
+    assert 2500 <= idct.hw <= 4000
+    assert 6000 <= dft.hw <= 8000
+
+    # SW column: paper 5000 / 600k (direct DFT lands 1-2M on our ISS)
+    assert 4000 <= idct.sw <= 7000
+    assert 400_000 <= dft.sw <= 2_500_000
+
+    # Gain column: paper 1.67 / 85
+    assert 1.2 <= idct.gain <= 2.3
+    assert 50 <= dft.gain <= 350
+    assert dft.gain / idct.gain > 30  # two-orders-of-magnitude split
+
+    benchmark.extra_info["idct"] = {
+        "lat": idct.lat, "hw": idct.hw, "sw": idct.sw,
+        "gain": round(idct.gain, 2),
+    }
+    benchmark.extra_info["dft"] = {
+        "lat": dft.lat, "hw": dft.hw, "sw": dft.sw,
+        "gain": round(dft.gain, 2),
+    }
+
+
+def test_table_one_fft_software_ablation(benchmark):
+    """Even against the best software (radix-2 FFT), hardware wins."""
+    rows = once(benchmark, lambda: table_one(
+        dft_points=256, environment="linux", sw_dft_algorithm="fft"))
+    dft = rows[1]
+    print(f"\nDFT vs software FFT: HW {dft.hw}, SW {dft.sw}, "
+          f"gain {dft.gain:.1f}")
+    assert dft.gain > 3.0
+    benchmark.extra_info["gain_vs_fft"] = round(dft.gain, 2)

@@ -1,0 +1,93 @@
+"""[C2/A5] Transfer efficiency: ~1.5 cycles per word, and ablations.
+
+Paper in-text analysis: "we have roughly 1500 cycles needed for data
+transfer, and 1024 32-bits words to transfer.  This means that around
+1.5 cycles per word were required, which is quite a good result."
+
+Ablations: DMA chunk size sweep (why DMA64 is the right microcode
+granularity) and microcode prefetch vs per-instruction fetch.
+"""
+
+from conftest import once
+
+from repro.analysis import measure_transfer_efficiency
+from repro.core.program import OuProgram, figure4_program
+from repro.core.registers import CTRL_IE, CTRL_S, REG_BANK_BASE, REG_CTRL, REG_PROG_SIZE
+from repro.rac.dft import DFTRac
+from repro.rac.scale import PassthroughRac
+from repro.sw.baremetal import BaremetalRuntime
+from repro.system import RAM_BASE, SoC
+from repro.utils import fixedpoint as fp
+
+PROG = RAM_BASE + 0x1000
+IN = RAM_BASE + 0x10_0000
+OUT = RAM_BASE + 0x20_0000
+
+
+def test_cycles_per_word_near_1_5(benchmark):
+    m = once(benchmark, lambda: measure_transfer_efficiency(1024))
+    print(f"\n{m.words} words in {m.cycles} cycles = "
+          f"{m.cycles_per_word:.2f} cycles/word (paper: ~1.5)")
+    assert 1.0 <= m.cycles_per_word <= 1.8
+    benchmark.extra_info["cycles_per_word"] = round(m.cycles_per_word, 3)
+
+
+def _transfer_with_chunk(chunk: int, total: int = 512) -> float:
+    rac = PassthroughRac(block_size=total, fifo_depth=256)
+    soc = SoC(racs=[rac])
+    runtime = BaremetalRuntime(soc)
+    soc.write_ram(IN, list(range(total)))
+    program = (OuProgram().stream_to(1, total, chunk=chunk).execs()
+               .stream_from(2, total, chunk=chunk).eop())
+    result = runtime.run(program.words(), {0: PROG, 1: IN, 2: OUT})
+    assert soc.read_ram(OUT, total) == list(range(total))
+    return result.total_cycles / (2 * total)
+
+
+def test_dma_chunk_size_sweep(benchmark):
+    """Bigger microcode chunks amortize per-instruction overheads."""
+    def sweep():
+        return {chunk: _transfer_with_chunk(chunk)
+                for chunk in (4, 8, 16, 32, 64, 128)}
+
+    results = once(benchmark, sweep)
+    print()
+    for chunk, cpw in sorted(results.items()):
+        print(f"  DMA{chunk:<4} {cpw:.2f} cycles/word")
+    # monotone improvement until the bus burst limit dominates
+    assert results[64] < results[8] < results[4]
+    assert results[64] <= 1.8
+    benchmark.extra_info.update(
+        {f"dma{k}": round(v, 3) for k, v in results.items()}
+    )
+
+
+def _figure4_cycles(prefetch: bool, q15_signal) -> int:
+    n = 256
+    soc = SoC(racs=[DFTRac(n_points=n)], prefetch=prefetch)
+    re, im = q15_signal(n)
+    soc.write_ram(IN, fp.interleave_complex(re, im))
+    soc.write_ram(PROG, figure4_program(n).words())
+    ocp = soc.ocp
+    for bank, base in {0: PROG, 1: IN, 2: OUT}.items():
+        ocp.interface.write_word(REG_BANK_BASE + 4 * bank, base)
+    ocp.interface.write_word(REG_PROG_SIZE, len(figure4_program(n)))
+    ocp.interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    return soc.run_until(lambda: ocp.done, max_cycles=100_000)
+
+
+def test_prefetch_ablation(benchmark, q15_signal):
+    """Microcode prefetch burst vs one bus read per instruction."""
+    def measure():
+        return (_figure4_cycles(True, q15_signal),
+                _figure4_cycles(False, q15_signal))
+
+    with_prefetch, without = once(benchmark, measure)
+    print(f"\nprefetch {with_prefetch} cycles vs per-instruction fetch "
+          f"{without} cycles")
+    assert with_prefetch < without
+    # 18 instructions * ~4-cycle bus read each
+    assert without - with_prefetch >= 18
+    benchmark.extra_info.update(
+        {"prefetch": with_prefetch, "per_instruction": without}
+    )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""OFDM reception on the DFT accelerator.
+
+"Dealing with compute-intensive tasks such as signal processing
+presents challenging performance issues" -- the paper's opening
+motivation.  This example is that workload: a QPSK/OFDM downlink
+(64 subcarriers, 48 used, 16-sample cyclic prefix -- 802.11a-like
+numerology) demodulated symbol by symbol on the DFT RAC, through the
+transparent library, with the bit-error rate checked against the
+transmitted data and the throughput compared to the ISS software FFT.
+
+Run:  python examples/ofdm_receiver.py
+"""
+
+import random
+
+from repro import DFTRac, OuessantLibrary, SoC
+from repro.apps.ofdm import (
+    OFDMParams,
+    OFDMReceiver,
+    awgn,
+    bit_error_rate,
+    modulate,
+)
+
+PARAMS = OFDMParams(n_fft=64, cp_len=16, used=48)
+N_SYMBOLS = 8
+NOISE_RMS = 0.015
+CLOCK_HZ = 50e6
+
+
+def main() -> None:
+    rng = random.Random(7)
+    bits = [rng.randint(0, 1) for _ in range(N_SYMBOLS * PARAMS.bits_per_symbol)]
+    print(f"transmitting {len(bits)} bits over {N_SYMBOLS} OFDM symbols "
+          f"({PARAMS.used} QPSK carriers, CP {PARAMS.cp_len})")
+
+    re, im = modulate(bits, PARAMS)
+    re, im = awgn(re, im, noise_rms=NOISE_RMS, seed=3)
+    print(f"channel: AWGN, noise RMS {NOISE_RMS} full scale")
+
+    # ---- hardware receiver: DFT RAC behind an OCP ----
+    soc = SoC(racs=[DFTRac(n_points=PARAMS.n_fft)])
+    library = OuessantLibrary(soc, environment="baremetal")
+    hw = OFDMReceiver(PARAMS, backend="ocp", library=library)
+    received = hw.demodulate(re, im)
+    ber = bit_error_rate(bits, received)
+    cycles_per_symbol = hw.cycles / N_SYMBOLS
+    symbol_rate = CLOCK_HZ / cycles_per_symbol
+    print(f"\nhardware receiver: BER = {ber:.4f} "
+          f"({int(ber * len(bits))} errors in {len(bits)} bits)")
+    print(f"    {cycles_per_symbol:.0f} cycles/symbol -> "
+          f"{symbol_rate / 1e3:.0f} ksymbol/s at 50 MHz "
+          f"({symbol_rate * PARAMS.bits_per_symbol / 1e6:.1f} Mbit/s)")
+    assert ber == 0.0, "clean-ish channel must decode error free"
+
+    # ---- software receiver on the ISS ----
+    sw = OFDMReceiver(PARAMS, backend="sw")
+    sw_received = sw.demodulate(re, im)
+    assert sw_received == received  # same fixed-point arithmetic
+    sw_cycles_per_symbol = sw.cycles / N_SYMBOLS
+    print(f"\nsoftware receiver (ISS radix-2 FFT): "
+          f"{sw_cycles_per_symbol:.0f} cycles/symbol")
+    print(f"acceleration: {sw_cycles_per_symbol / cycles_per_symbol:.1f}x "
+          f"per symbol -- and the GPP is free during every transform")
+
+
+if __name__ == "__main__":
+    main()

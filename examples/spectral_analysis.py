@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Spectral analysis with the Spiral-style 256-point DFT accelerator.
+
+The paper's flagship result: a 256-point complex DFT accelerated 85x
+over software under Linux.  This example is the application around
+that number, built on :mod:`repro.apps.spectrum`: a two-tone signal
+buried in noise is analysed with the DFT RAC through the transparent
+library (Linux driver model, interrupt mode), the detected peaks are
+reported, and the same analysis is timed on the instruction-set
+simulator's software DFT.
+
+Run:  python examples/spectral_analysis.py
+"""
+
+from repro import DFTRac, OuessantLibrary, SoC
+from repro.apps.spectrum import SpectrumAnalyzer, Tone, synthesize
+from repro.rac.dft import dft_latency
+
+N = 256
+SAMPLE_RATE = 10_000.0  # Hz (pretend ADC)
+TONES = [Tone(1200.0, 0.30), Tone(3400.0, 0.18)]
+NOISE = 0.02
+
+
+def main() -> None:
+    re, im = synthesize(TONES, N, SAMPLE_RATE, noise_rms=NOISE, seed=42)
+    print(f"{N}-point complex DFT, tones at "
+          + ", ".join(f"{t.frequency:.0f} Hz" for t in TONES))
+
+    # ---- hardware: OCP + DFT RAC under the Linux driver model ----
+    soc = SoC(racs=[DFTRac(n_points=N)])
+    library = OuessantLibrary(soc, environment="linux")
+    hw = SpectrumAnalyzer(N, SAMPLE_RATE, backend="ocp", library=library)
+    peaks = hw.analyze(re, im)
+    print(f"\nhardware run: {hw.cycles} cycles total "
+          f"(accelerator core latency {dft_latency(N)}, "
+          f"Linux overhead included)")
+    print("detected peaks:")
+    bin_width = SAMPLE_RATE / N
+    for peak in peaks:
+        is_tone = any(abs(peak.frequency - t.frequency) < bin_width
+                      for t in TONES)
+        marker = "  <-- tone" if is_tone else ""
+        print(f"    {peak.frequency:7.1f} Hz  magnitude "
+              f"{peak.magnitude:.4f}{marker}")
+    for tone in TONES:
+        assert any(abs(p.frequency - tone.frequency) < bin_width
+                   and p.magnitude > 0.02 for p in peaks), (
+            f"tone at {tone.frequency} Hz not found"
+        )
+
+    # ---- software baseline: direct DFT on the ISS ----
+    print("\nrunning the software baseline on the ISS "
+          "(direct Q15 DFT, ~1.4M instructions)...")
+    sw = SpectrumAnalyzer(N, SAMPLE_RATE, backend="sw-dft")
+    sw_peaks = sw.analyze(re, im)
+    print(f"software run: {sw.cycles} cycles")
+    gain = sw.cycles / hw.cycles
+    print(f"\nacceleration factor: {gain:.0f}x "
+          f"(paper Table I: 85x against its 600k-cycle software DFT)")
+    # both paths find the same spectral peaks
+    assert [p.bin for p in sw_peaks] == [p.bin for p in peaks]
+
+
+if __name__ == "__main__":
+    main()

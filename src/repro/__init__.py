@@ -1,0 +1,74 @@
+"""Ouessant reproduction: flexible coprocessor integration in SoCs.
+
+A full-system Python reproduction of *"Ouessant: Flexible Integration
+of Dedicated Coprocessors in Systems On Chip"* (Horrein et al., DATE
+2016): the Ouessant coprocessor architecture (microcode ISA,
+controller, bank-translating bus interface, variable-width FIFO
+fabric), the SoC substrate it is evaluated on (cycle-accounted bus,
+memory, a Leon3-like instruction-set simulator), the accelerators
+(2-D IDCT, Spiral-style iterative DFT, FIR), the software stack
+(baremetal + Linux-model drivers, transparent library), the Section II
+baselines, and a structural FPGA resource estimator.
+
+Quick start::
+
+    from repro import SoC, DFTRac, OuessantLibrary
+
+    soc = SoC(racs=[DFTRac(n_points=256)])
+    lib = OuessantLibrary(soc, environment="linux")
+    spectrum_re, spectrum_im = lib.dft(signal_re, signal_im)
+    print(lib.last_result.total_cycles)
+"""
+
+from .analysis import (
+    TableOneRow,
+    measure_transfer_efficiency,
+    render_table_one,
+    table_one,
+)
+from .core import (
+    OuProgram,
+    OuessantCoprocessor,
+    figure4_looped_program,
+    figure4_program,
+    idct_program,
+)
+from .rac import (
+    DFTRac,
+    FIFO,
+    FIRRac,
+    IDCTRac,
+    PassthroughRac,
+    RAC,
+    ScaleRac,
+    StreamingRAC,
+)
+from .sw import BaremetalRuntime, LinuxRuntime, OuessantDriver, OuessantLibrary
+from .system import SoC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaremetalRuntime",
+    "DFTRac",
+    "FIFO",
+    "FIRRac",
+    "IDCTRac",
+    "LinuxRuntime",
+    "OuProgram",
+    "OuessantCoprocessor",
+    "OuessantDriver",
+    "OuessantLibrary",
+    "PassthroughRac",
+    "RAC",
+    "ScaleRac",
+    "SoC",
+    "StreamingRAC",
+    "TableOneRow",
+    "figure4_looped_program",
+    "figure4_program",
+    "idct_program",
+    "measure_transfer_efficiency",
+    "render_table_one",
+    "table_one",
+]

@@ -1,0 +1,5 @@
+"""Application layer: the workloads the paper's accelerators serve."""
+
+from . import jpeg, ofdm, spectrum
+
+__all__ = ["jpeg", "ofdm", "spectrum"]

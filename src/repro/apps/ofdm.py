@@ -1,0 +1,211 @@
+"""OFDM receiver built on the DFT accelerator.
+
+The paper motivates coprocessors with "compute-intensive tasks such as
+signal processing"; the canonical consumer of a streaming DFT core is
+an OFDM demodulator (every Wi-Fi/LTE symbol is one).  This module
+implements the receiver chain around the DFT RAC:
+
+* QPSK mapping / demapping,
+* OFDM modulation (transmitter side, floating point -- it represents
+  the remote end, not our SoC),
+* cyclic-prefix removal and per-symbol demodulation through a
+  selectable DFT backend (the OCP, the ISS software kernel, or the
+  golden fixed-point model).
+
+Everything on the receive path is Q15, matching the RAC's interface.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.software import software_fft
+from ..sim.errors import ConfigurationError
+from ..sw.library import OuessantLibrary
+from ..utils import fixedpoint as fp
+
+#: QPSK constellation (Gray coded): bits -> unit-circle point
+_QPSK = {
+    (0, 0): complex(1, 1) / math.sqrt(2),
+    (0, 1): complex(-1, 1) / math.sqrt(2),
+    (1, 1): complex(-1, -1) / math.sqrt(2),
+    (1, 0): complex(1, -1) / math.sqrt(2),
+}
+
+
+def qpsk_map(bits: Sequence[int]) -> List[complex]:
+    """Pairs of bits -> QPSK symbols."""
+    if len(bits) % 2:
+        raise ConfigurationError("QPSK needs an even number of bits")
+    return [_QPSK[(bits[i], bits[i + 1])] for i in range(0, len(bits), 2)]
+
+
+def qpsk_demap(symbols: Sequence[complex]) -> List[int]:
+    """Hard-decision QPSK demapping (inverse of :func:`qpsk_map`)."""
+    bits: List[int] = []
+    for symbol in symbols:
+        bits.extend(_demap_quadrant(symbol))
+    return bits
+
+
+def _demap_quadrant(symbol: complex) -> Tuple[int, int]:
+    if symbol.real >= 0 and symbol.imag >= 0:
+        return (0, 0)
+    if symbol.real < 0 and symbol.imag >= 0:
+        return (0, 1)
+    if symbol.real < 0 and symbol.imag < 0:
+        return (1, 1)
+    return (1, 0)
+
+
+@dataclass(frozen=True)
+class OFDMParams:
+    """Waveform parameters.
+
+    ``n_fft`` subcarriers (power of two; must match the DFT RAC),
+    ``cp_len`` cyclic-prefix samples, ``used`` active subcarriers
+    (symmetric around DC, DC unused).
+    """
+
+    n_fft: int = 64
+    cp_len: int = 16
+    used: int = 48
+
+    def __post_init__(self) -> None:
+        if self.used >= self.n_fft:
+            raise ConfigurationError("used carriers must be < n_fft")
+        if self.used % 2:
+            raise ConfigurationError("used carriers must be even")
+        if self.cp_len < 0 or self.cp_len >= self.n_fft:
+            raise ConfigurationError("bad cyclic prefix length")
+
+    @property
+    def carrier_indices(self) -> List[int]:
+        half = self.used // 2
+        return list(range(1, half + 1)) + list(
+            range(self.n_fft - half, self.n_fft)
+        )
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 2 * self.used
+
+
+def modulate(
+    bits: Sequence[int], params: OFDMParams, amplitude: float = 0.02
+) -> Tuple[List[int], List[int]]:
+    """Transmitter: bits -> Q15 time-domain samples (with CP).
+
+    Floating-point IFFT (the remote transmitter), quantized to Q15 at
+    the "ADC".  ``amplitude`` is per-carrier; the default keeps the
+    peak of ~48 coherently-adding carriers inside Q15 (OFDM's infamous
+    peak-to-average ratio -- 0.25 would clip hard).
+    """
+    if len(bits) % params.bits_per_symbol:
+        raise ConfigurationError(
+            f"bit count must be a multiple of {params.bits_per_symbol}"
+        )
+    re_out: List[int] = []
+    im_out: List[int] = []
+    for start in range(0, len(bits), params.bits_per_symbol):
+        chunk = bits[start : start + params.bits_per_symbol]
+        symbols = qpsk_map(chunk)
+        grid = np.zeros(params.n_fft, dtype=complex)
+        for index, symbol in zip(params.carrier_indices, symbols):
+            grid[index] = symbol
+        time = np.fft.ifft(grid) * params.n_fft * amplitude
+        with_cp = np.concatenate([time[-params.cp_len:], time]) \
+            if params.cp_len else time
+        re_out.extend(fp.float_to_q15(v) for v in with_cp.real)
+        im_out.extend(fp.float_to_q15(v) for v in with_cp.imag)
+    return re_out, im_out
+
+
+def awgn(
+    re: Sequence[int], im: Sequence[int], noise_rms: float, seed: int = 0
+) -> Tuple[List[int], List[int]]:
+    """Add white Gaussian noise in the Q15 domain (the channel)."""
+    rng = random.Random(seed)
+    scale = noise_rms * fp.Q15_ONE
+
+    def corrupt(values: Sequence[int]) -> List[int]:
+        return [fp.saturate(int(v + rng.gauss(0, scale))) for v in values]
+
+    return corrupt(re), corrupt(im)
+
+
+class OFDMReceiver:
+    """Demodulates OFDM symbols through a DFT backend.
+
+    ``backend``: ``"ocp"`` (DFT RAC via an :class:`OuessantLibrary`),
+    ``"sw"`` (the ISS radix-2 kernel) or ``"golden"``.
+    """
+
+    def __init__(
+        self,
+        params: OFDMParams,
+        backend: str = "golden",
+        library: Optional[OuessantLibrary] = None,
+    ) -> None:
+        if backend not in ("ocp", "sw", "golden"):
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        if backend == "ocp" and library is None:
+            raise ConfigurationError("the ocp backend needs a library")
+        self.params = params
+        self.backend = backend
+        self.library = library
+        self.cycles = 0
+        self.symbols_processed = 0
+
+    def _dft(
+        self, re: Sequence[int], im: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        if self.backend == "ocp":
+            assert self.library is not None
+            out = self.library.dft(list(re), list(im))
+            assert self.library.last_result is not None
+            self.cycles += self.library.last_result.total_cycles
+            return out
+        if self.backend == "sw":
+            out, run = software_fft(re, im)
+            self.cycles += run.cycles
+            return out
+        return fp.fft_q15(re, im)
+
+    def demodulate(
+        self, re: Sequence[int], im: Sequence[int]
+    ) -> List[int]:
+        """Time-domain Q15 samples (with CP) -> received bits."""
+        params = self.params
+        frame = params.n_fft + params.cp_len
+        if len(re) != len(im) or len(re) % frame:
+            raise ConfigurationError(
+                f"input must be a multiple of {frame} samples"
+            )
+        bits: List[int] = []
+        for start in range(0, len(re), frame):
+            body = slice(start + params.cp_len, start + frame)
+            spec_re, spec_im = self._dft(re[body], im[body])
+            for index in params.carrier_indices:
+                symbol = complex(
+                    fp.q15_to_float(spec_re[index]),
+                    fp.q15_to_float(spec_im[index]),
+                )
+                bits.extend(_demap_quadrant(symbol))
+            self.symbols_processed += 1
+        return bits
+
+
+def bit_error_rate(sent: Sequence[int], received: Sequence[int]) -> float:
+    if len(sent) != len(received):
+        raise ConfigurationError("length mismatch")
+    if not sent:
+        return 0.0
+    errors = sum(1 for a, b in zip(sent, received) if a != b)
+    return errors / len(sent)

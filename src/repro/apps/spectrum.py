@@ -1,0 +1,167 @@
+"""Spectral-analysis toolkit around the DFT accelerator.
+
+The application layer the paper's 85x DFT headline serves: signal
+generation, windowing, accelerated (or software) transforms, magnitude
+spectra and peak detection -- everything in the Q15 domain the RAC
+speaks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..baselines.software import software_dft_direct, software_fft
+from ..sim.errors import ConfigurationError
+from ..sw.library import OuessantLibrary
+from ..utils import fixedpoint as fp
+
+
+@dataclass(frozen=True)
+class Tone:
+    """One sinusoid component of a synthetic signal."""
+
+    frequency: float
+    amplitude: float
+    phase: float = 0.0
+
+
+def synthesize(
+    tones: Sequence[Tone],
+    n: int,
+    sample_rate: float,
+    noise_rms: float = 0.0,
+    seed: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """Q15 complex baseband signal: sum of tones + white noise."""
+    rng = random.Random(seed)
+    re: List[int] = []
+    im: List[int] = []
+    for t in range(n):
+        value = sum(
+            tone.amplitude * math.sin(
+                2 * math.pi * tone.frequency * t / sample_rate + tone.phase
+            )
+            for tone in tones
+        )
+        value += rng.gauss(0, noise_rms) if noise_rms else 0.0
+        re.append(fp.float_to_q15(value))
+        im.append(0)
+    return re, im
+
+
+def hann_window(n: int) -> List[int]:
+    """Q15 Hann window coefficients."""
+    return [
+        fp.float_to_q15(0.5 - 0.5 * math.cos(2 * math.pi * t / (n - 1)))
+        for t in range(n)
+    ]
+
+
+def apply_window(
+    re: Sequence[int], im: Sequence[int], window: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Pointwise Q15 multiply of a complex signal by a real window."""
+    if not (len(re) == len(im) == len(window)):
+        raise ConfigurationError("signal/window length mismatch")
+    return (
+        [fp.q15_mul(x, w) for x, w in zip(re, window)],
+        [fp.q15_mul(x, w) for x, w in zip(im, window)],
+    )
+
+
+def magnitude(spec_re: Sequence[int], spec_im: Sequence[int]) -> List[float]:
+    """Bin magnitudes of a Q15 spectrum, as floats in [0, ~1]."""
+    return [
+        math.hypot(fp.q15_to_float(r), fp.q15_to_float(i))
+        for r, i in zip(spec_re, spec_im)
+    ]
+
+
+@dataclass(frozen=True)
+class Peak:
+    """One detected spectral peak."""
+
+    bin: int
+    frequency: float
+    magnitude: float
+
+
+def find_peaks(
+    magnitudes: Sequence[float],
+    sample_rate: float,
+    threshold: float = 0.01,
+    max_peaks: int = 8,
+) -> List[Peak]:
+    """Local maxima of the positive-frequency half, above threshold."""
+    n = len(magnitudes)
+    half = n // 2
+    peaks: List[Peak] = []
+    for k in range(1, half - 1):
+        m = magnitudes[k]
+        if m >= threshold and m >= magnitudes[k - 1] and m > magnitudes[k + 1]:
+            peaks.append(Peak(k, k * sample_rate / n, m))
+    peaks.sort(key=lambda p: -p.magnitude)
+    return sorted(peaks[:max_peaks], key=lambda p: p.bin)
+
+
+class SpectrumAnalyzer:
+    """N-point spectrum analyser with a selectable transform backend.
+
+    ``backend`` is one of ``"ocp"`` (the DFT RAC through an
+    :class:`OuessantLibrary`), ``"sw-fft"`` or ``"sw-dft"`` (the ISS
+    kernels), or ``"golden"`` (the pure fixed-point model).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        sample_rate: float,
+        backend: str = "golden",
+        library: Optional[OuessantLibrary] = None,
+        window: bool = False,
+    ) -> None:
+        if backend not in ("ocp", "sw-fft", "sw-dft", "golden"):
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        if backend == "ocp" and library is None:
+            raise ConfigurationError("the ocp backend needs a library")
+        self.n = n
+        self.sample_rate = sample_rate
+        self.backend = backend
+        self.library = library
+        self.window = hann_window(n) if window else None
+        self.cycles = 0
+
+    def _transform(
+        self, re: Sequence[int], im: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        if self.backend == "ocp":
+            assert self.library is not None
+            out = self.library.dft(list(re), list(im))
+            assert self.library.last_result is not None
+            self.cycles += self.library.last_result.total_cycles
+            return out
+        if self.backend == "sw-fft":
+            out, run = software_fft(re, im)
+            self.cycles += run.cycles
+            return out
+        if self.backend == "sw-dft":
+            out, run = software_dft_direct(re, im)
+            self.cycles += run.cycles
+            return out
+        return fp.fft_q15(re, im)
+
+    def analyze(
+        self, re: Sequence[int], im: Sequence[int]
+    ) -> List[Peak]:
+        """Window, transform and peak-detect one frame."""
+        if len(re) != self.n or len(im) != self.n:
+            raise ConfigurationError(
+                f"analyser is configured for {self.n}-point frames"
+            )
+        if self.window is not None:
+            re, im = apply_window(re, im, self.window)
+        spec_re, spec_im = self._transform(re, im)
+        return find_peaks(magnitude(spec_re, spec_im), self.sample_rate)

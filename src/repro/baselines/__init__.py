@@ -1,0 +1,35 @@
+"""Comparison systems from Section II: SW, PIO slave, DMA slave, Molen."""
+
+from .dma_slave import (
+    BurstSlaveAccelerator,
+    DMAHarness,
+    IN_WINDOW,
+    OUT_WINDOW,
+    SLAVE_WINDOW_BYTES,
+)
+from .molen import MolenEstimate, molen_run_estimate
+from .pio_slave import PIOHarness, SlaveAccelerator
+from .software import (
+    SoftwareRun,
+    software_dft_direct,
+    software_fft,
+    software_idct,
+    software_memcpy,
+)
+
+__all__ = [
+    "BurstSlaveAccelerator",
+    "DMAHarness",
+    "IN_WINDOW",
+    "MolenEstimate",
+    "OUT_WINDOW",
+    "PIOHarness",
+    "SLAVE_WINDOW_BYTES",
+    "SlaveAccelerator",
+    "SoftwareRun",
+    "molen_run_estimate",
+    "software_dft_direct",
+    "software_fft",
+    "software_idct",
+    "software_memcpy",
+]

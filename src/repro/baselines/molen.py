@@ -1,0 +1,75 @@
+"""Molen-style tightly-coupled coprocessor model.
+
+Section II-A: "The Molen polymorphic processor is based on a small
+dedicated instruction set ... The coprocessor is then integrated
+between the processor and the bus, providing an extension to the
+instruction set of the GPP.  This approach is completely transparent
+and provides acceleration with a very low time overhead.  However, it
+requires access to the bus/processor interface, and it requires one
+accelerator per processor."
+
+Because Molen sits *inside* the processor pipeline it cannot be built
+as a bus peripheral in this SoC; we model its published cost structure
+analytically so the design-space comparison of Section II can be
+quantified:
+
+* near-zero start overhead (a pipeline-integrated ``execute`` op),
+* transfers through exchange registers at one word per cycle,
+* the CPU is **blocked** for the whole operation (no overlap), and
+* structural constraints: one accelerator per core, soft-core only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: cycles for the Molen `set`/`execute` instruction pair
+MOLEN_START_OVERHEAD = 4
+#: exchange-register transfer rate (words per cycle)
+MOLEN_WORDS_PER_CYCLE = 1
+
+
+@dataclass(frozen=True)
+class MolenEstimate:
+    """Cycle estimate + constraint report for a Molen-style run."""
+
+    total_cycles: int
+    transfer_cycles: int
+    compute_cycles: int
+    start_overhead: int
+    cpu_blocked_cycles: int
+    needs_pipeline_access: bool = True
+    one_accelerator_per_core: bool = True
+    hardcore_compatible: bool = False
+
+    @property
+    def constraints(self) -> str:
+        return (
+            "requires bus/processor interface access; "
+            "one accelerator per processor; "
+            "not usable with hardcore CPUs (e.g. Zynq PS)"
+        )
+
+
+def molen_run_estimate(
+    words_in: int, words_out: int, compute_latency: int
+) -> MolenEstimate:
+    """Cycles for one operation on a Molen-integrated accelerator.
+
+    The accelerator datapath is assumed identical to the RAC (same
+    ``compute_latency``); only the integration differs.  Input
+    streaming overlaps computation start exactly as in the RAC model,
+    but the CPU cannot do anything else meanwhile -- the blocked time
+    *is* the total time.
+    """
+    if words_in < 0 or words_out < 0 or compute_latency < 0:
+        raise ValueError("negative quantities make no sense here")
+    transfer = (words_in + words_out) // MOLEN_WORDS_PER_CYCLE
+    total = MOLEN_START_OVERHEAD + transfer + compute_latency
+    return MolenEstimate(
+        total_cycles=total,
+        transfer_cycles=transfer,
+        compute_cycles=compute_latency,
+        start_overhead=MOLEN_START_OVERHEAD,
+        cpu_blocked_cycles=total,
+    )

@@ -1,0 +1,71 @@
+"""Interrupt lines.
+
+The Ouessant interface raises a GPP interrupt when the ``IE`` control
+bit is set and the program executes ``eop`` (Figure 3's "GPP interrupt"
+signal).  :class:`IRQLine` models a level-sensitive line: the source
+raises it, the handler acknowledges it.  :class:`IRQController` fans
+multiple lines into the CPU with fixed priorities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class IRQLine:
+    """One level-sensitive interrupt line."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._pending = False
+        self.raise_count = 0
+
+    @property
+    def pending(self) -> bool:
+        return self._pending
+
+    def assert_(self) -> None:
+        """Drive the line high (idempotent)."""
+        if not self._pending:
+            self.raise_count += 1
+        self._pending = True
+
+    def clear(self) -> None:
+        """Acknowledge: drive the line low."""
+        self._pending = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending" if self._pending else "idle"
+        return f"<IRQLine {self.name} {state}>"
+
+
+class IRQController:
+    """Fixed-priority interrupt controller (smaller index wins)."""
+
+    def __init__(self) -> None:
+        self._lines: List[IRQLine] = []
+
+    def register(self, line: IRQLine) -> int:
+        """Attach a line; returns its interrupt number."""
+        self._lines.append(line)
+        return len(self._lines) - 1
+
+    def line(self, number: int) -> IRQLine:
+        return self._lines[number]
+
+    @property
+    def lines(self) -> List[IRQLine]:
+        return list(self._lines)
+
+    def highest_pending(self) -> Optional[int]:
+        """Number of the highest-priority pending line, or ``None``."""
+        for number, line in enumerate(self._lines):
+            if line.pending:
+                return number
+        return None
+
+    def any_pending(self) -> bool:
+        return self.highest_pending() is not None
+
+    def snapshot(self) -> Dict[str, bool]:
+        return {line.name: line.pending for line in self._lines}

@@ -1,0 +1,257 @@
+"""Command-line tools for the Ouessant reproduction.
+
+``python -m repro.cli <command>`` provides the developer workflow the
+original project shipped alongside its RTL:
+
+* ``assemble``  -- microcode text -> instruction words (hex, one/line)
+* ``disasm``    -- instruction words -> Figure 4 style text
+* ``lint``      -- static-check microcode against an accelerator
+* ``estimate``  -- FPGA resource report for an OCP + RAC
+* ``table1``    -- regenerate the paper's Table I
+* ``transfer``  -- regenerate the cycles-per-word analysis
+
+Every command reads/writes plain text so it composes with shell
+pipelines; ``main`` returns a process exit code and is directly
+callable from tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.assembler import assemble_microcode, disassemble
+from .core.encoding import decode as ou_decode
+from .core.lint import has_errors, lint_program, render_diagnostics
+from .rac.base import RAC
+from .rac.dft import DFTRac
+from .rac.fir import FIRRac
+from .rac.idct import IDCTRac
+from .rac.matmul import MatMulRac
+from .rac.scale import PassthroughRac, ScaleRac
+from .sim.errors import ReproError
+
+
+def _make_rac(spec: str) -> RAC:
+    """Parse ``idct`` / ``dft:256`` / ``fir:128,16`` / ... into a RAC."""
+    name, _, args = spec.partition(":")
+    values = [int(v) for v in args.split(",") if v] if args else []
+    name = name.lower()
+    if name == "idct":
+        return IDCTRac()
+    if name == "dft":
+        return DFTRac(n_points=values[0] if values else 256)
+    if name == "fir":
+        block = values[0] if values else 128
+        taps = values[1] if len(values) > 1 else 16
+        return FIRRac(block_size=block, n_taps=taps)
+    if name == "matmul":
+        return MatMulRac(n=values[0] if values else 8)
+    if name == "scale":
+        return ScaleRac(block_size=values[0] if values else 16)
+    if name in ("passthrough", "loopback"):
+        return PassthroughRac(block_size=values[0] if values else 16)
+    raise ReproError(
+        f"unknown RAC {name!r} (known: idct, dft[:N], fir[:BLOCK,TAPS], "
+        "matmul[:N], scale[:N], passthrough[:N])"
+    )
+
+
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _read_words(path: str) -> List[int]:
+    return [int(token, 16) for token in _read_text(path).split()]
+
+
+def _cmd_assemble(args: argparse.Namespace) -> int:
+    words = assemble_microcode(_read_text(args.input))
+    for word in words:
+        print(f"{word:08x}")
+    print(f"# {len(words)} instructions", file=sys.stderr)
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    print(disassemble(_read_words(args.input)))
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    text = _read_text(args.input)
+    try:
+        words = assemble_microcode(text)
+    except ReproError:
+        words = [int(token, 16) for token in text.split()]
+    program = [ou_decode(word) for word in words]
+    rac = _make_rac(args.rac) if args.rac else None
+    banks = set(args.banks) if args.banks else None
+    diags = lint_program(program, rac=rac, configured_banks=banks)
+    print(render_diagnostics(diags))
+    return 1 if has_errors(diags) else 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from .synth import device_by_name, estimate_ocp, utilization_report
+    from .system import SoC
+
+    soc = SoC(racs=[_make_rac(args.rac)])
+    estimate = estimate_ocp(soc.ocp)
+    device = device_by_name(args.device)
+    print(utilization_report(estimate.parts, device))
+    overhead = estimate.ocp_overhead
+    print(f"\nOCP overhead (paper envelope <1000 LUT / <750 FF): {overhead}")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    from .core.codegen import as_program, compress_program, expand_program
+
+    words = assemble_microcode(_read_text(args.input))
+    program = [ou_decode(word) for word in words]
+    transformed = (expand_program(program) if args.expand
+                   else compress_program(program))
+    result = as_program(list(transformed))
+    print(result.listing())
+    print(
+        f"# {len(program)} -> {len(transformed)} instructions",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .core.binary import pack
+
+    words = assemble_microcode(_read_text(args.input))
+    data = pack(words)
+    with open(args.output, "wb") as handle:
+        handle.write(data)
+    print(f"packed {len(words)} instructions -> {args.output} "
+          f"({len(data)} bytes)", file=sys.stderr)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .core.binary import unpack
+
+    with open(args.input, "rb") as handle:
+        image = unpack(handle.read())
+    print(f"OUFW image: {len(image.words)} instructions")
+    print(f"banks referenced: {image.banks_referenced}")
+    print(disassemble(image.words))
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from .synth.timing import ARTIX7_TECH, SPARTAN6_TECH, timing_report
+    from .system import SoC
+
+    technology = SPARTAN6_TECH if args.device == "spartan6" else ARTIX7_TECH
+    soc = SoC(racs=[_make_rac(args.rac)])
+    report = timing_report(soc.ocp, clock_mhz=args.clock,
+                           technology=technology)
+    print(report.render())
+    return 0 if report.closes else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .analysis import render_table_one, table_one
+
+    rows = table_one(dft_points=args.dft_points, environment=args.env)
+    print(render_table_one(rows))
+    return 0
+
+
+def _cmd_transfer(args: argparse.Namespace) -> int:
+    from .analysis import measure_transfer_efficiency
+
+    m = measure_transfer_efficiency(args.words)
+    print(f"{m.words} words in {m.cycles} cycles "
+          f"= {m.cycles_per_word:.2f} cycles/word")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Ouessant reproduction toolbox"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("assemble", help="microcode text -> hex words")
+    p.add_argument("input", help="source file ('-' for stdin)")
+    p.set_defaults(fn=_cmd_assemble)
+
+    p = sub.add_parser("disasm", help="hex words -> microcode text")
+    p.add_argument("input", help="hex word file ('-' for stdin)")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("lint", help="static-check microcode")
+    p.add_argument("input", help="source or hex file ('-' for stdin)")
+    p.add_argument("--rac", help="accelerator spec, e.g. dft:256")
+    p.add_argument("--banks", type=int, nargs="*",
+                   help="configured bank numbers")
+    p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser("estimate", help="FPGA resource report")
+    p.add_argument("--rac", default="dft:256")
+    p.add_argument("--device", default="xc7a100t")
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("compress",
+                       help="rewrite unrolled transfers with hardware loops")
+    p.add_argument("input", help="source file ('-' for stdin)")
+    p.add_argument("--expand", action="store_true",
+                   help="lower to the base ISA instead")
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("pack", help="microcode text -> OUFW image")
+    p.add_argument("input", help="source file ('-' for stdin)")
+    p.add_argument("output", help="image file to write")
+    p.set_defaults(fn=_cmd_pack)
+
+    p = sub.add_parser("info", help="inspect an OUFW image")
+    p.add_argument("input", help="image file")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("timing", help="static timing closure check")
+    p.add_argument("--rac", default="dft:256")
+    p.add_argument("--clock", type=float, default=50.0,
+                   help="constraint in MHz (paper: 50)")
+    p.add_argument("--device", default="artix7",
+                   choices=("artix7", "spartan6"))
+    p.set_defaults(fn=_cmd_timing)
+
+    p = sub.add_parser("table1", help="regenerate Table I")
+    p.add_argument("--dft-points", type=int, default=256)
+    p.add_argument("--env", default="linux",
+                   choices=("linux", "baremetal"))
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("transfer", help="cycles-per-word analysis")
+    p.add_argument("--words", type=int, default=1024)
+    p.set_defaults(fn=_cmd_transfer)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

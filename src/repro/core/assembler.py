@@ -1,0 +1,182 @@
+"""Microcode assembler and disassembler for the Ouessant ISA.
+
+The accepted syntax is exactly the paper's Figure 4 style::
+
+    # 64 words from offset 0 of bank 1
+    # to coprocessor FIFO 0
+    mvtc BANK1,0,DMA64,FIFO0
+    execs
+    mvfc BANK2,0,DMA64,FIFO0
+    eop
+
+plus labels (``name:``) and the extension instructions
+(``wait 100``, ``waitf out,FIFO0,64``, ``jmp name``, ``loop 8`` /
+``endl``, ``mvtcx``/``mvfcx``/``addofr``/``clrofr``, ``irq``, ``sync``,
+``halt``).  Operand keywords are case-insensitive; ``BANKn`` / ``DMAn``
+/ ``FIFOn`` may be written as plain integers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from ..sim.errors import AssemblerError
+from .encoding import decode, encode
+from .isa import FIFODirection, OuInstruction, OuOp, TRANSFER_OPS
+
+_COMMENT_RE = re.compile(r"[#;].*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_]\w*):")
+
+
+def _parse_keyword_int(token: str, prefix: str, line: int) -> int:
+    """Parse ``BANK3`` / ``DMA64`` / ``FIFO0`` (or a bare integer)."""
+    token = token.strip()
+    upper = token.upper()
+    if upper.startswith(prefix):
+        token = token[len(prefix):]
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(
+            f"expected {prefix}<n> or integer, got {token!r}", line
+        ) from exc
+
+
+def _parse_transfer(op: OuOp, operands: List[str], line: int) -> OuInstruction:
+    if len(operands) != 4:
+        raise AssemblerError(
+            f"{op.name.lower()} expects BANK,OFFSET,DMA,FIFO", line
+        )
+    bank = _parse_keyword_int(operands[0], "BANK", line)
+    try:
+        offset = int(operands[1], 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad offset {operands[1]!r}", line) from exc
+    count = _parse_keyword_int(operands[2], "DMA", line)
+    fifo = _parse_keyword_int(operands[3], "FIFO", line)
+    return OuInstruction(op, bank=bank, offset=offset, count=count, fifo=fifo)
+
+
+def assemble_microcode(source: str) -> List[int]:
+    """Assemble microcode text into 32-bit instruction words."""
+    # pass 1: strip comments, collect labels and raw statements
+    statements: List["tuple[int, str, List[str]]"] = []
+    labels: Dict[str, int] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = _COMMENT_RE.sub("", raw).strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}", lineno)
+            labels[label] = len(statements)
+            text = text[match.end():].strip()
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [tok.strip() for tok in parts[1].split(",")]
+            if len(parts) > 1
+            else []
+        )
+        statements.append((lineno, mnemonic, operands))
+
+    # pass 2: encode
+    words: List[int] = []
+    for index, (lineno, mnemonic, operands) in enumerate(statements):
+        try:
+            op = OuOp[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno) from exc
+        try:
+            words.append(encode(_build(op, operands, lineno, labels)))
+        except AssemblerError:
+            raise
+        except Exception as exc:
+            raise AssemblerError(str(exc), lineno) from exc
+    return words
+
+
+def _build(
+    op: OuOp, operands: List[str], line: int, labels: Dict[str, int]
+) -> OuInstruction:
+    if op in TRANSFER_OPS:
+        return _parse_transfer(op, operands, line)
+    if op is OuOp.WAIT:
+        if len(operands) != 1:
+            raise AssemblerError("wait expects one operand", line)
+        return OuInstruction(op, imm=int(operands[0], 0))
+    if op is OuOp.WAITF:
+        if len(operands) != 3:
+            raise AssemblerError("waitf expects DIR,FIFO,LEVEL", line)
+        direction = operands[0].strip().lower()
+        if direction not in ("in", "out"):
+            raise AssemblerError(
+                f"waitf direction must be 'in' or 'out', got {operands[0]!r}",
+                line,
+            )
+        return OuInstruction(
+            op,
+            direction=(
+                FIFODirection.INPUT if direction == "in"
+                else FIFODirection.OUTPUT
+            ),
+            fifo=_parse_keyword_int(operands[1], "FIFO", line),
+            count=int(operands[2], 0),
+        )
+    if op is OuOp.JMP:
+        if len(operands) != 1:
+            raise AssemblerError("jmp expects a label or index", line)
+        target_token = operands[0]
+        if target_token in labels:
+            target = labels[target_token]
+        else:
+            try:
+                target = int(target_token, 0)
+            except ValueError as exc:
+                raise AssemblerError(
+                    f"unknown label {target_token!r}", line
+                ) from exc
+        return OuInstruction(op, imm=target)
+    if op is OuOp.LOOP:
+        if len(operands) != 1:
+            raise AssemblerError("loop expects an iteration count", line)
+        return OuInstruction(op, imm=int(operands[0], 0))
+    if op is OuOp.ADDOFR:
+        if len(operands) != 1:
+            raise AssemblerError("addofr expects a word-offset delta", line)
+        return OuInstruction(op, imm=int(operands[0], 0))
+    if operands:
+        raise AssemblerError(f"{op.name.lower()} takes no operands", line)
+    return OuInstruction(op)
+
+
+def disassemble(words: List[int]) -> str:
+    """Render instruction words back into Figure 4 style text."""
+    lines: List[str] = []
+    for word in words:
+        instr = decode(word)
+        op = instr.op
+        if op in TRANSFER_OPS:
+            lines.append(
+                f"{instr.mnemonic()} BANK{instr.bank},{instr.offset},"
+                f"DMA{instr.count},FIFO{instr.fifo}"
+            )
+        elif op is OuOp.WAIT:
+            lines.append(f"wait {instr.imm}")
+        elif op is OuOp.WAITF:
+            direction = "in" if instr.direction is FIFODirection.INPUT else "out"
+            lines.append(f"waitf {direction},FIFO{instr.fifo},{instr.count}")
+        elif op is OuOp.JMP:
+            lines.append(f"jmp {instr.imm}")
+        elif op is OuOp.LOOP:
+            lines.append(f"loop {instr.imm}")
+        elif op is OuOp.ADDOFR:
+            lines.append(f"addofr {instr.imm}")
+        else:
+            lines.append(instr.mnemonic())
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Firmware image format.
+
+An open-source coprocessor project needs a way to ship microcode:
+this module defines the ``OUFW`` image -- a small self-describing
+container holding the instruction words plus the bank contract, so a
+loader can validate a program against the system before writing the
+configuration registers.
+
+Layout (little-endian 32-bit words):
+
+======  =====================================================
+word 0  magic ``0x4F554657`` ("OUFW")
+word 1  format version (currently 1)
+word 2  instruction count N
+word 3  bank-usage bitmap (bit b set = microcode references bank b)
+word 4  checksum: 32-bit sum of all instruction words
+5..     N instruction words
+======  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.errors import ConfigurationError
+from ..utils import bits
+from .encoding import decode
+from .isa import OuInstruction, TRANSFER_OPS
+
+MAGIC = 0x4F554657  # "OUFW"
+VERSION = 1
+HEADER_WORDS = 5
+
+
+@dataclass(frozen=True)
+class FirmwareImage:
+    """A validated firmware container."""
+
+    words: List[int]
+    bank_bitmap: int
+
+    @property
+    def instructions(self) -> List[OuInstruction]:
+        return [decode(word) for word in self.words]
+
+    @property
+    def banks_referenced(self) -> List[int]:
+        return [b for b in range(8) if self.bank_bitmap & (1 << b)]
+
+    def requires_bank(self, bank: int) -> bool:
+        return bool(self.bank_bitmap & (1 << bank))
+
+
+def _checksum(words: Sequence[int]) -> int:
+    return sum(words) & bits.WORD_MASK
+
+
+def _bank_bitmap(words: Sequence[int]) -> int:
+    bitmap = 1  # bank 0 always holds the microcode itself
+    for word in words:
+        instr = decode(word)
+        if instr.op in TRANSFER_OPS:
+            bitmap |= 1 << instr.bank
+    return bitmap
+
+
+def pack(program_words: Sequence[int]) -> bytes:
+    """Serialize instruction words into an ``OUFW`` image."""
+    if not program_words:
+        raise ConfigurationError("cannot pack an empty program")
+    words = [w & bits.WORD_MASK for w in program_words]
+    for word in words:
+        decode(word)  # must be a valid instruction stream
+    header = [
+        MAGIC,
+        VERSION,
+        len(words),
+        _bank_bitmap(words),
+        _checksum(words),
+    ]
+    return bits.bytes_from_words(header + words)
+
+
+def unpack(data: bytes) -> FirmwareImage:
+    """Parse and validate an ``OUFW`` image.
+
+    Raises
+    ------
+    ConfigurationError
+        On a bad magic, unsupported version, truncated payload or
+        checksum mismatch.
+    """
+    if len(data) < 4 * HEADER_WORDS:
+        raise ConfigurationError("image shorter than the OUFW header")
+    all_words = bits.words_from_bytes(data)
+    magic, version, count, bitmap, checksum = all_words[:HEADER_WORDS]
+    if magic != MAGIC:
+        raise ConfigurationError(f"bad magic {magic:#010x} (not OUFW)")
+    if version != VERSION:
+        raise ConfigurationError(f"unsupported OUFW version {version}")
+    words = all_words[HEADER_WORDS : HEADER_WORDS + count]
+    if len(words) != count:
+        raise ConfigurationError(
+            f"truncated image: header promises {count} instructions, "
+            f"payload holds {len(words)}"
+        )
+    if _checksum(words) != checksum:
+        raise ConfigurationError("checksum mismatch: corrupted image")
+    if _bank_bitmap(words) != bitmap:
+        raise ConfigurationError(
+            "bank bitmap disagrees with the instruction stream"
+        )
+    for word in words:
+        decode(word)
+    return FirmwareImage(words=words, bank_bitmap=bitmap)

@@ -1,0 +1,399 @@
+"""The Ouessant controller.
+
+"Ouessant controller is responsible for instruction decoding and actual
+control of data transfer and coprocessor operations based on provided
+microcode.  It is based on a classical unpipelined
+Fetch/Decode/Execute microcontroller architecture.  It roughly consists
+of a Finite State Machine to control execution, and of registers to
+store the state it is in."  (Section III-D)
+
+This class is that FSM, cycle by cycle:
+
+* **fetch**: microcode is read from memory bank 0 over the bus.  By
+  default the whole program is prefetched into an instruction buffer
+  with one burst when ``S`` is set (the behaviour that yields the
+  paper's ~1.5 cycles/word overall efficiency); per-instruction
+  fetching is available for the ablation study.
+* **decode**: one cycle.
+* **execute**: transfer instructions drive the interface's master
+  engine in FIFO-paced chunks; ``exec`` waits on the RAC's ``end_op``;
+  the extension instructions manipulate the loop/offset registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from ..bus.types import BusTransfer
+from ..rac.base import RAC
+from ..rac.fifo import FIFO
+from ..sim.errors import ControllerError
+from ..sim.kernel import Component
+from ..sim.tracing import Stats
+from .encoding import decode
+from .interface import OuessantInterface
+from .isa import FIFODirection, OuInstruction, OuOp
+from .registers import PROGRAM_BANK
+
+
+class _State(enum.Enum):
+    IDLE = "idle"
+    PREFETCH = "prefetch"
+    FETCH = "fetch"
+    DECODE = "decode"
+    XFER_TO = "xfer_to"
+    XFER_FROM = "xfer_from"
+    EXEC_WAIT = "exec_wait"
+    WAITING = "waiting"
+    WAITF = "waitf"
+    HALTED = "halted"
+
+
+class OuessantController(Component):
+    """Fetch/decode/execute FSM of the OCP.
+
+    Parameters
+    ----------
+    interface:
+        The :class:`OuessantInterface` providing registers, address
+        translation and the bus master engine.
+    prefetch:
+        Fetch the whole program in one burst at start (default True).
+    ibuf_size:
+        Instruction-buffer capacity in instructions; programs longer
+        than this fall back to per-instruction fetch past the buffer.
+    """
+
+    def __init__(
+        self,
+        name: str = "ocp.ctrl",
+        interface: Optional[OuessantInterface] = None,
+        prefetch: bool = True,
+        ibuf_size: int = 128,
+    ) -> None:
+        super().__init__(name)
+        if interface is None:
+            raise ControllerError("controller needs an interface")
+        if ibuf_size < 1:
+            raise ControllerError("ibuf_size must be >= 1")
+        self.interface = interface
+        self.prefetch = prefetch
+        self.ibuf_size = ibuf_size
+        self.rac: Optional[RAC] = None
+        self.fifos_in: List[FIFO] = []
+        self.fifos_out: List[FIFO] = []
+        self.stats = Stats()
+        self._state = _State.IDLE
+        self._pc = 0
+        self._ibuf: List[int] = []
+        self._pending: Optional[BusTransfer] = None
+        self._instr: Optional[OuInstruction] = None
+        # transfer engine state
+        self._xfer_bank = 0
+        self._xfer_offset = 0
+        self._xfer_remaining = 0
+        self._xfer_fifo = 0
+        # extension registers
+        self._wait_timer = 0
+        self._loop_count = 0
+        self._loop_body = 0
+        self._loop_active = False
+        self._ofr = 0
+        # hook into the register file's S bit
+        self.interface.registers.on_start = self._on_start
+        self.interface.registers.on_stop = self._on_stop
+
+    # -- wiring ------------------------------------------------------------
+    def bind_fabric(
+        self, fifos_in: List[FIFO], fifos_out: List[FIFO], rac: RAC
+    ) -> None:
+        """Attach the FIFO fabric and accelerator (done by the OCP)."""
+        self.fifos_in = list(fifos_in)
+        self.fifos_out = list(fifos_out)
+        self.rac = rac
+
+    # -- control ------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state.value
+
+    @property
+    def running(self) -> bool:
+        return self._state not in (_State.IDLE, _State.HALTED)
+
+    @property
+    def halted(self) -> bool:
+        return self._state is _State.HALTED
+
+    @property
+    def offset_register(self) -> int:
+        return self._ofr
+
+    def _on_start(self) -> None:
+        if self.interface.registers.prog_size < 1:
+            raise ControllerError("S set with PROG_SIZE == 0")
+        self._pc = 0
+        self._ibuf = []
+        self._pending = None
+        self._instr = None
+        self._loop_active = False
+        self._ofr = 0
+        self._state = _State.PREFETCH if self.prefetch else _State.FETCH
+        self.trace_event("start", prog_size=self.interface.registers.prog_size)
+
+    def _on_stop(self) -> None:
+        if self._state is _State.HALTED:
+            self._state = _State.IDLE
+
+    def reset(self) -> None:
+        self._state = _State.IDLE
+        self._pc = 0
+        self._ibuf = []
+        self._pending = None
+        self._instr = None
+        self._loop_active = False
+        self._ofr = 0
+        self.stats = Stats()
+
+    # -- per-cycle behaviour ----------------------------------------------
+    def tick(self) -> None:
+        state = self._state
+        if state in (_State.IDLE, _State.HALTED):
+            return
+        self.stats.incr(f"cycles.{state.value}")
+        if state is _State.PREFETCH:
+            self._tick_prefetch()
+        elif state is _State.FETCH:
+            self._tick_fetch()
+        elif state is _State.DECODE:
+            self._tick_decode()
+        elif state is _State.XFER_TO:
+            self._tick_xfer_to()
+        elif state is _State.XFER_FROM:
+            self._tick_xfer_from()
+        elif state is _State.EXEC_WAIT:
+            if self.rac is not None and self.rac.end_op:
+                self._state = _State.FETCH
+        elif state is _State.WAITING:
+            self._wait_timer -= 1
+            if self._wait_timer <= 0:
+                self._state = _State.FETCH
+        elif state is _State.WAITF:
+            if self._waitf_satisfied():
+                self._state = _State.FETCH
+
+    # -- fetch path ---------------------------------------------------------
+    def _tick_prefetch(self) -> None:
+        if self._pending is None:
+            words = min(self.interface.registers.prog_size, self.ibuf_size)
+            self._pending = self.interface.submit_read(PROGRAM_BANK, 0, words)
+            return
+        if self._pending.done:
+            self._ibuf = list(self._pending.data)
+            self._pending = None
+            self._state = _State.FETCH
+
+    def _tick_fetch(self) -> None:
+        prog_size = self.interface.registers.prog_size
+        if self._pc >= prog_size:
+            raise ControllerError(
+                f"PC {self._pc} ran past PROG_SIZE {prog_size} "
+                "(missing eop/halt?)"
+            )
+        if self._pc < len(self._ibuf):
+            self._instr = decode(self._ibuf[self._pc])
+            self._pc += 1
+            self._state = _State.DECODE
+            return
+        # slow path: fetch one instruction word over the bus
+        if self._pending is None:
+            self._pending = self.interface.submit_read(
+                PROGRAM_BANK, self._pc, 1
+            )
+            return
+        if self._pending.done:
+            word = self._pending.data[0]
+            self._pending = None
+            self._instr = decode(word)
+            self._pc += 1
+            self._state = _State.DECODE
+
+    def _tick_decode(self) -> None:
+        instr = self._instr
+        if instr is None:  # pragma: no cover - fetch always latches one
+            raise ControllerError("decode without fetched instruction")
+        self.stats.incr("instructions")
+        self.stats.incr(f"instr.{instr.mnemonic()}")
+        self._execute(instr)
+
+    # -- execute -------------------------------------------------------------
+    def _execute(self, instr: OuInstruction) -> None:
+        op = instr.op
+        if op in (OuOp.MVTC, OuOp.MVTCX, OuOp.MVFC, OuOp.MVFCX):
+            self._begin_transfer(instr)
+        elif op is OuOp.EXEC:
+            self._require_rac().start_op()
+            self._state = _State.EXEC_WAIT
+        elif op is OuOp.EXECS:
+            self._require_rac().start_op()
+            self._state = _State.FETCH
+        elif op is OuOp.EOP:
+            self.interface.signal_done()
+            self._state = _State.HALTED
+            self.trace_event("eop", pc=self._pc)
+        elif op is OuOp.NOP:
+            self._state = _State.FETCH
+        elif op is OuOp.WAIT:
+            if instr.imm == 0:
+                self._state = _State.FETCH
+            else:
+                self._wait_timer = instr.imm
+                self._state = _State.WAITING
+        elif op is OuOp.WAITF:
+            self._instr = instr
+            self._state = _State.WAITF
+        elif op is OuOp.JMP:
+            if instr.imm >= self.interface.registers.prog_size:
+                raise ControllerError(
+                    f"jmp target {instr.imm} outside program"
+                )
+            self._pc = instr.imm
+            self._state = _State.FETCH
+        elif op is OuOp.LOOP:
+            if self._loop_active:
+                raise ControllerError("nested loop: single-level only")
+            self._loop_active = True
+            self._loop_count = instr.imm
+            self._loop_body = self._pc
+            self._state = _State.FETCH
+        elif op is OuOp.ENDL:
+            if not self._loop_active:
+                raise ControllerError("endl without loop")
+            self._loop_count -= 1
+            if self._loop_count > 0:
+                self._pc = self._loop_body
+            else:
+                self._loop_active = False
+            self._state = _State.FETCH
+        elif op is OuOp.ADDOFR:
+            self._ofr += instr.imm
+            self._state = _State.FETCH
+        elif op is OuOp.CLROFR:
+            self._ofr = 0
+            self._state = _State.FETCH
+        elif op is OuOp.IRQ:
+            self.interface.signal_irq()
+            self._state = _State.FETCH
+        elif op is OuOp.SYNC:
+            # the transfer engine is synchronous per instruction, so a
+            # sync barrier is already satisfied here; costs one cycle.
+            self._state = _State.FETCH
+        elif op is OuOp.HALT:
+            self._state = _State.HALTED
+        else:  # pragma: no cover - decode rejects undefined opcodes
+            raise ControllerError(f"unimplemented opcode {op}")
+
+    def _require_rac(self) -> RAC:
+        if self.rac is None:
+            raise ControllerError("exec with no RAC bound")
+        return self.rac
+
+    # -- transfer engine ------------------------------------------------------
+    def _begin_transfer(self, instr: OuInstruction) -> None:
+        offset = instr.offset
+        if instr.op in (OuOp.MVTCX, OuOp.MVFCX):
+            offset += self._ofr
+        fifos = (
+            self.fifos_in
+            if instr.to_coprocessor()
+            else self.fifos_out
+        )
+        if instr.fifo >= len(fifos):
+            raise ControllerError(
+                f"{instr.mnemonic()} addresses FIFO{instr.fifo} but the "
+                f"RAC provides {len(fifos)}"
+            )
+        self._xfer_bank = instr.bank
+        self._xfer_offset = offset
+        self._xfer_remaining = instr.count
+        self._xfer_fifo = instr.fifo
+        # validate the whole window now (hardware would fault mid-burst)
+        self.interface.translate(instr.bank, offset, instr.count)
+        self._state = (
+            _State.XFER_TO if instr.to_coprocessor() else _State.XFER_FROM
+        )
+
+    def _tick_xfer_to(self) -> None:
+        fifo = self.fifos_in[self._xfer_fifo]
+        if self._pending is not None:
+            if not self._pending.done:
+                return
+            data = self._pending.data
+            self._pending = None
+            fifo.push_many(data)
+            self.stats.incr("words_to_rac", len(data))
+            if self._xfer_remaining == 0:
+                self._state = _State.FETCH
+            return
+        chunk = min(self._xfer_remaining, fifo.free_push_words)
+        if chunk < 1:
+            self.stats.incr("cycles.fifo_stall")
+            return
+        self._pending = self.interface.submit_read(
+            self._xfer_bank, self._xfer_offset, chunk
+        )
+        self._xfer_offset += chunk
+        self._xfer_remaining -= chunk
+
+    def _tick_xfer_from(self) -> None:
+        fifo = self.fifos_out[self._xfer_fifo]
+        if self._pending is not None:
+            if not self._pending.done:
+                return
+            self._pending = None
+            if self._xfer_remaining == 0:
+                self._state = _State.FETCH
+            return
+        if self.bus_burst_threshold < 1:
+            raise ControllerError("bus burst threshold must be >= 1")
+        # never wait for more words than the FIFO can physically hold
+        chunk = min(self._xfer_remaining, self.bus_burst_threshold,
+                    fifo.depth)
+        if fifo.occupancy < chunk:
+            self.stats.incr("cycles.fifo_stall")
+            return
+        data = fifo.pop_many(chunk)
+        self.stats.incr("words_from_rac", len(data))
+        self._pending = self.interface.submit_write(
+            self._xfer_bank, self._xfer_offset, data
+        )
+        self._xfer_offset += chunk
+        self._xfer_remaining -= chunk
+
+    @property
+    def bus_burst_threshold(self) -> int:
+        """Words to accumulate before issuing an outbound burst.
+
+        Matching the bus protocol's maximum burst keeps outbound
+        cycles/word near the paper's 1.5 while bounding FIFO latency.
+        """
+        bus = self.interface.bus
+        if bus is None:
+            return 16
+        return bus.protocol.max_burst_beats
+
+    # -- waitf ---------------------------------------------------------------
+    def _waitf_satisfied(self) -> bool:
+        instr = self._instr
+        if instr is None:  # pragma: no cover
+            return True
+        if instr.direction is FIFODirection.INPUT:
+            fifos = self.fifos_in
+            if instr.fifo >= len(fifos):
+                raise ControllerError(f"waitf: no input FIFO{instr.fifo}")
+            return fifos[instr.fifo].free_push_words >= instr.count
+        fifos = self.fifos_out
+        if instr.fifo >= len(fifos):
+            raise ControllerError(f"waitf: no output FIFO{instr.fifo}")
+        return fifos[instr.fifo].occupancy >= instr.count

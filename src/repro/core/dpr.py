@@ -1,0 +1,92 @@
+"""Dynamic Partial Reconfiguration of the RAC.
+
+Paper, Section VI: "Current work in progress includes complete Zynq
+(AXI4) integration, and Dynamic Partial Reconfiguration."  The RAC is
+the natural reconfigurable region (Figure 1 isolates it behind FIFOs),
+so swapping accelerators at runtime only requires the controller to be
+idle and the partial bitstream to be streamed to the configuration
+port.
+
+:class:`DPRManager` models that flow: it charges the ICAP transfer time
+for the bitstream, keeps the OCP unusable during reconfiguration, then
+rebuilds the FIFO fabric around the new RAC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rac.base import RAC
+from ..sim.errors import ReconfigurationError
+from ..sim.kernel import Simulator
+from ..sim.tracing import Stats
+from .coprocessor import OuessantCoprocessor
+
+#: Xilinx 7-series ICAP: 32 bits per cycle at configuration clock.  We
+#: express everything in system-clock cycles (50 MHz in the paper's
+#: setup, slower than the 100 MHz ICAP, hence the conservative 1).
+ICAP_WORDS_PER_CYCLE = 1
+
+
+@dataclass(frozen=True)
+class PartialBitstream:
+    """A partial bitstream: the RAC it configures plus its size.
+
+    ``size_words`` defaults to a typical small-region 7-series partial
+    bitstream (~100 KB => 25k words).
+    """
+
+    rac: RAC
+    size_words: int = 25_000
+
+    def __post_init__(self) -> None:
+        if self.size_words < 1:
+            raise ReconfigurationError("bitstream cannot be empty")
+
+
+class DPRManager:
+    """Swap RACs inside a live OCP, charging reconfiguration time.
+
+    Parameters
+    ----------
+    sim:
+        The running simulator (time advances during reconfiguration).
+    ocp:
+        The coprocessor whose RAC region is reconfigurable.
+    """
+
+    def __init__(self, sim: Simulator, ocp: OuessantCoprocessor) -> None:
+        self.sim = sim
+        self.ocp = ocp
+        self.stats = Stats()
+        self._shelf: "dict[str, RAC]" = {}
+
+    def reconfigure(self, bitstream: PartialBitstream) -> int:
+        """Load a partial bitstream; returns cycles spent reconfiguring.
+
+        Raises
+        ------
+        ReconfigurationError
+            If the controller is running or the OCP is started.
+        """
+        if self.ocp.controller.running:
+            raise ReconfigurationError(
+                "controller busy: stop the OCP before reconfiguring"
+            )
+        if self.ocp.registers.started:
+            raise ReconfigurationError(
+                "S bit still set: software must release the OCP first"
+            )
+        cycles = (bitstream.size_words + ICAP_WORDS_PER_CYCLE - 1) // ICAP_WORDS_PER_CYCLE
+        self.sim.step(cycles)
+        old = self.ocp.swap_rac(bitstream.rac)
+        if old is not None:
+            self._shelf[old.name] = old
+        self.stats.incr("reconfigurations")
+        self.stats.incr("reconfiguration_cycles", cycles)
+        return cycles
+
+    def shelved(self, name: str) -> Optional[RAC]:
+        """A previously swapped-out RAC, if any (for swap-back tests)."""
+        return self._shelf.get(name)

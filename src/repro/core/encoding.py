@@ -1,0 +1,110 @@
+"""Binary encoding of the Ouessant instruction set.
+
+See :mod:`repro.core.isa` for the field layout.  ``encode`` and
+``decode`` are exact inverses over the set of valid instructions (a
+property-based test pins this down).
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import EncodingError
+from .isa import (
+    FIFODirection,
+    MAX_JUMP,
+    MAX_LOOP,
+    MAX_OFFSET,
+    MAX_TRANSFER_WORDS,
+    MAX_WAIT,
+    N_BANKS,
+    N_FIFO_SLOTS,
+    OuInstruction,
+    OuOp,
+    TRANSFER_OPS,
+)
+
+_OPCODE_SHIFT = 27
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise EncodingError(message)
+
+
+def encode(instr: OuInstruction) -> int:
+    """Encode an instruction into its 32-bit word."""
+    op = instr.op
+    word = int(op) << _OPCODE_SHIFT
+    if op in TRANSFER_OPS:
+        _require(0 <= instr.bank < N_BANKS, f"bank {instr.bank} out of range")
+        _require(
+            0 <= instr.offset <= MAX_OFFSET,
+            f"offset {instr.offset} exceeds {MAX_OFFSET}",
+        )
+        _require(
+            1 <= instr.count <= MAX_TRANSFER_WORDS,
+            f"count {instr.count} not in [1, {MAX_TRANSFER_WORDS}]",
+        )
+        _require(0 <= instr.fifo < N_FIFO_SLOTS, f"fifo {instr.fifo} out of range")
+        return (
+            word
+            | (instr.bank << 24)
+            | (instr.offset << 10)
+            | ((instr.count - 1) << 3)
+            | instr.fifo
+        )
+    if op is OuOp.WAIT:
+        _require(0 <= instr.imm <= MAX_WAIT, f"wait {instr.imm} too long")
+        return word | instr.imm
+    if op is OuOp.WAITF:
+        _require(0 <= instr.fifo < N_FIFO_SLOTS, f"fifo {instr.fifo} out of range")
+        _require(0 <= instr.count <= 127, f"waitf level {instr.count} > 127")
+        return (
+            word
+            | (instr.direction.value << 26)
+            | (instr.fifo << 23)
+            | (instr.count << 16)
+        )
+    if op is OuOp.JMP:
+        _require(0 <= instr.imm <= MAX_JUMP, f"jmp target {instr.imm} out of range")
+        return word | instr.imm
+    if op is OuOp.LOOP:
+        _require(1 <= instr.imm <= MAX_LOOP, f"loop count {instr.imm} invalid")
+        return word | instr.imm
+    if op is OuOp.ADDOFR:
+        _require(0 <= instr.imm <= MAX_OFFSET, f"addofr {instr.imm} out of range")
+        return word | instr.imm
+    # no-field instructions
+    return word
+
+
+def decode(word: int) -> OuInstruction:
+    """Decode a 32-bit word; raises :class:`EncodingError` if undefined."""
+    opcode = (word >> _OPCODE_SHIFT) & 0x1F
+    try:
+        op = OuOp(opcode)
+    except ValueError as exc:
+        raise EncodingError(f"undefined Ouessant opcode {opcode:#x}") from exc
+    if op in TRANSFER_OPS:
+        return OuInstruction(
+            op,
+            bank=(word >> 24) & 0x7,
+            offset=(word >> 10) & MAX_OFFSET,
+            count=((word >> 3) & 0x7F) + 1,
+            fifo=word & 0x7,
+        )
+    if op is OuOp.WAIT:
+        return OuInstruction(op, imm=word & MAX_WAIT)
+    if op is OuOp.WAITF:
+        return OuInstruction(
+            op,
+            direction=FIFODirection((word >> 26) & 1),
+            fifo=(word >> 23) & 0x7,
+            count=(word >> 16) & 0x7F,
+        )
+    if op is OuOp.JMP:
+        return OuInstruction(op, imm=word & MAX_JUMP)
+    if op is OuOp.LOOP:
+        return OuInstruction(op, imm=word & MAX_LOOP)
+    if op is OuOp.ADDOFR:
+        return OuInstruction(op, imm=word & MAX_OFFSET)
+    return OuInstruction(op)

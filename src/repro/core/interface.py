@@ -1,0 +1,156 @@
+"""The Ouessant interface (Figure 3).
+
+"OCP interface is designed to translate Ouessant internal addressing
+mechanism to the SoC communication system."  It has two halves:
+
+* the **bus-independent** part: the ten configuration registers, the
+  ``(bank, offset) -> address`` translation (bank base + offset), and
+  the done/interrupt signalling;
+* the **bus-dependent** part: the slave FSM (register access) and the
+  master FSM (burst data transfers), realized here by speaking the
+  transaction protocol of :class:`repro.bus.bus.SystemBus`, whose
+  pluggable :class:`~repro.bus.protocol.BusProtocol` plays the role of
+  the per-bus adapter.
+
+The interface is also where write snooping is reported (Section IV's
+cache-coherency remark): any attached
+:class:`~repro.mem.cache.Cache` is informed of master writes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..bus.bus import SystemBus
+from ..bus.irq import IRQLine
+from ..bus.types import AccessKind, BusRequest, BusSlave, BusTransfer
+from ..mem.cache import Cache
+from ..sim.errors import ControllerError
+from ..sim.kernel import Component
+from ..sim.tracing import Stats
+from .isa import MAX_OFFSET
+from .registers import N_REGISTERS, OuessantRegisters
+
+
+class OuessantInterface(Component, BusSlave):
+    """Register file + address translation + bus master engine.
+
+    Parameters
+    ----------
+    bus:
+        The system bus; the interface is both a slave on it (registers)
+        and a master (microcode-driven bursts).
+    master_priority:
+        Bus priority of data transfers (the CPU defaults to 0; giving
+        the OCP 1 mirrors the AMBA2 setup where the processor wins).
+    """
+
+    #: register file responds with no wait state
+    access_latency = 0
+
+    def __init__(
+        self,
+        name: str = "ocp.if",
+        bus: Optional[SystemBus] = None,
+        master_priority: int = 1,
+    ) -> None:
+        Component.__init__(self, name)
+        self.bus = bus
+        self.master_priority = master_priority
+        self.registers = OuessantRegisters()
+        self.irq = IRQLine(f"{name}.irq")
+        self.snooped_caches: List[Cache] = []
+        self.stats = Stats()
+
+    # -- slave side (configuration registers) ------------------------------
+    def read_word(self, offset: int) -> int:
+        if not 0 <= offset < 4 * N_REGISTERS:
+            return 0
+        return self.registers.read(offset)
+
+    def write_word(self, offset: int, value: int) -> None:
+        if 0 <= offset < 4 * N_REGISTERS:
+            self.registers.write(offset, value)
+
+    @property
+    def window_bytes(self) -> int:
+        """Size of the slave register window."""
+        return 4 * N_REGISTERS
+
+    # -- address translation ------------------------------------------------
+    def translate(self, bank: int, word_offset: int, words: int = 1) -> int:
+        """Resolve ``(bank, offset)`` to an absolute byte address.
+
+        The transfer must stay inside the 14-bit offset window of the
+        bank (the hardware adder width of Figure 3).
+        """
+        if word_offset < 0 or word_offset + words - 1 > MAX_OFFSET:
+            raise ControllerError(
+                f"transfer [{word_offset}+{words}] exceeds the "
+                f"{MAX_OFFSET + 1}-word bank window"
+            )
+        base = self.registers.bank_base(bank)
+        return base + 4 * word_offset
+
+    # -- master side (burst engine) ---------------------------------------
+    def submit_read(
+        self, bank: int, word_offset: int, words: int
+    ) -> BusTransfer:
+        """Issue a burst read of ``words`` from a bank."""
+        if self.bus is None:
+            raise ControllerError(f"{self.name} has no bus attached")
+        address = self.translate(bank, word_offset, words)
+        self.stats.incr("master_reads")
+        self.stats.incr("words_read", words)
+        return self.bus.submit(
+            BusRequest(
+                master=self.name,
+                kind=AccessKind.READ,
+                address=address,
+                burst=words,
+                priority=self.master_priority,
+            )
+        )
+
+    def submit_write(
+        self, bank: int, word_offset: int, data: List[int]
+    ) -> BusTransfer:
+        """Issue a burst write of ``data`` into a bank (with snooping)."""
+        if self.bus is None:
+            raise ControllerError(f"{self.name} has no bus attached")
+        address = self.translate(bank, word_offset, len(data))
+        for cache in self.snooped_caches:
+            cache.snoop_write_burst(address, len(data))
+        self.stats.incr("master_writes")
+        self.stats.incr("words_written", len(data))
+        return self.bus.submit(
+            BusRequest(
+                master=self.name,
+                kind=AccessKind.WRITE,
+                address=address,
+                burst=len(data),
+                data=list(data),
+                priority=self.master_priority,
+            )
+        )
+
+    # -- done / interrupt signalling ----------------------------------------
+    def signal_done(self) -> None:
+        """``eop`` semantics: set D, raise the GPP interrupt if IE."""
+        self.registers.set_done()
+        if self.registers.interrupt_enabled:
+            self.irq.assert_()
+        self.trace_event("done", interrupt=self.registers.interrupt_enabled)
+
+    def signal_irq(self) -> None:
+        """Extension ``irq`` instruction: interrupt without ending."""
+        if self.registers.interrupt_enabled:
+            self.irq.assert_()
+
+    def attach_snooped_cache(self, cache: Cache) -> None:
+        self.snooped_caches.append(cache)
+
+    def reset(self) -> None:
+        self.registers.reset()
+        self.irq.clear()
+        self.stats = Stats()

@@ -1,0 +1,139 @@
+"""The Ouessant instruction set.
+
+Section III-D: "Operation code is stored on 5 bits, which allows up to
+32 different instructions.  Currently, only 4 instructions are
+implemented": data transfers (``mvtc``, ``mvfc``) and execution
+management (``exec``, ``eop``).  Figure 4 additionally uses ``execs``
+(start-without-wait), and the paper announces that "the instruction set
+is also being worked on, to provide higher flexibility".
+
+This module implements the base set *and* that announced extension set
+(loops, jumps, waits, indexed transfers, explicit interrupt), clearly
+separated so the base-paper behaviour can be evaluated alone:
+
+================= ======= ==========================================
+base              mvtc     burst memory -> coprocessor FIFO
+                  mvfc     burst coprocessor FIFO -> memory
+                  exec     start accelerator, wait for end_op
+                  execs    start accelerator, continue
+                  eop      set D, raise IRQ (if IE), halt
+extension         nop      do nothing for a cycle
+                  wait     wait a fixed number of cycles
+                  waitf    wait on a FIFO level condition
+                  jmp      jump to an instruction index
+                  loop     begin a hardware loop (count iterations)
+                  endl     close the innermost (single-level) loop
+                  mvtcx    mvtc with offset += OFR (offset register)
+                  mvfcx    mvfc with offset += OFR
+                  addofr   OFR += immediate (word offset delta)
+                  clrofr   OFR = 0
+                  irq      raise the GPP interrupt without halting
+                  sync     barrier: all issued transfers completed
+                  halt     stop without setting D or interrupting
+================= ======= ==========================================
+
+Instruction word layout (bit 31 on the left)::
+
+    transfers   op(5) | bank(3) | offset(14) | count-1(7) | fifo(3)
+    wait        op(5) | ------- imm20 in bits [19:0] -------
+    waitf       op(5) | dir(1) | fifo(3) | count(7) | unused(16)
+    jmp         op(5) | target(14) in bits [13:0]
+    loop        op(5) | count(12) in bits [11:0]
+    addofr      op(5) | delta(14) in bits [13:0]
+    others      op(5) | unused
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: transfers move at most this many words (count-1 stored on 7 bits)
+MAX_TRANSFER_WORDS = 128
+#: offsets are 14-bit word offsets inside a bank (Figure 3)
+OFFSET_BITS = 14
+#: 8 bank registers (Figure 3: bank 0 .. bank 7)
+N_BANKS = 8
+#: FIFO selector field width
+N_FIFO_SLOTS = 8
+
+MAX_OFFSET = (1 << OFFSET_BITS) - 1
+MAX_WAIT = (1 << 20) - 1
+MAX_JUMP = (1 << 14) - 1
+MAX_LOOP = (1 << 12) - 1
+
+
+class OuOp(enum.IntEnum):
+    """Ouessant opcodes (5-bit space)."""
+
+    EOP = 0x00
+    MVTC = 0x01
+    MVFC = 0x02
+    EXEC = 0x03
+    EXECS = 0x04
+    # ---- extension set ----
+    NOP = 0x05
+    WAIT = 0x06
+    WAITF = 0x07
+    JMP = 0x08
+    LOOP = 0x09
+    ENDL = 0x0A
+    MVTCX = 0x0B
+    MVFCX = 0x0C
+    ADDOFR = 0x0D
+    CLROFR = 0x0E
+    IRQ = 0x0F
+    SYNC = 0x10
+    HALT = 0x11
+
+
+#: the four instructions of the published paper (plus execs, used by Fig. 4)
+BASE_SET = {OuOp.MVTC, OuOp.MVFC, OuOp.EXEC, OuOp.EXECS, OuOp.EOP}
+
+#: transfer opcodes moving data towards the coprocessor
+TO_COPROCESSOR_OPS = {OuOp.MVTC, OuOp.MVTCX}
+#: transfer opcodes moving data from the coprocessor
+FROM_COPROCESSOR_OPS = {OuOp.MVFC, OuOp.MVFCX}
+TRANSFER_OPS = TO_COPROCESSOR_OPS | FROM_COPROCESSOR_OPS
+#: opcodes using the offset register
+INDEXED_OPS = {OuOp.MVTCX, OuOp.MVFCX}
+
+
+class FIFODirection(enum.Enum):
+    """Which side of the FIFO fabric a ``waitf`` condition observes."""
+
+    INPUT = 0
+    OUTPUT = 1
+
+
+@dataclass(frozen=True)
+class OuInstruction:
+    """One decoded Ouessant instruction.
+
+    Fields are interpreted according to :attr:`op`:
+
+    * transfers: ``bank``, ``offset`` (word offset), ``count`` (words),
+      ``fifo`` (FIFO selector);
+    * ``wait``: ``imm`` = cycles;
+    * ``waitf``: ``fifo``, ``count`` (level threshold), ``direction``;
+    * ``jmp``: ``imm`` = target instruction index;
+    * ``loop``: ``imm`` = iteration count;
+    * ``addofr``: ``imm`` = word-offset delta.
+    """
+
+    op: OuOp
+    bank: int = 0
+    offset: int = 0
+    count: int = 1
+    fifo: int = 0
+    imm: int = 0
+    direction: FIFODirection = FIFODirection.INPUT
+
+    def is_transfer(self) -> bool:
+        return self.op in TRANSFER_OPS
+
+    def to_coprocessor(self) -> bool:
+        return self.op in TO_COPROCESSOR_OPS
+
+    def mnemonic(self) -> str:
+        return self.op.name.lower()

@@ -1,0 +1,168 @@
+"""Functional (timing-free) reference executor for Ouessant microcode.
+
+The cycle-accurate controller in :mod:`repro.core.controller` is the
+implementation; this module is its *architectural specification*:
+it executes a program purely functionally — word lists in, word lists
+out — with no clock, no bus, no FIFO occupancy.  Differential tests
+generate random programs and check that the simulated SoC leaves
+memory in exactly the state the reference model predicts.
+
+Modelled semantics:
+
+* ``mvtc``/``mvtcx`` append words read from memory to the addressed
+  input stream;
+* the accelerator is a functional fold: whenever every input stream
+  holds one operation's worth of words, they are consumed and the
+  outputs appended to the output streams (matching the autostart
+  behaviour of :class:`~repro.rac.base.StreamingRAC`);
+* ``mvfc``/``mvfcx`` pop words from the addressed output stream into
+  memory (blocking semantics: the words must eventually exist —
+  the reference model fires pending accelerator operations first);
+* ``loop``/``endl``, ``jmp``, ``addofr``/``clrofr`` manipulate control
+  state exactly as the controller does;
+* ``wait``/``waitf``/``sync``/``nop``/``irq`` have no functional
+  effect; ``exec``/``execs`` likewise (execution is data-driven);
+* ``eop``/``halt`` stop the program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..rac.base import StreamingRAC
+from ..sim.errors import ControllerError
+from .isa import OuInstruction, OuOp
+
+
+class ReferenceMemory:
+    """Word-addressed memory view for the reference executor."""
+
+    def __init__(self, words: Dict[int, int] | None = None) -> None:
+        self._words: Dict[int, int] = dict(words or {})
+
+    def read(self, address: int, count: int) -> List[int]:
+        return [self._words.get(address + 4 * i, 0) for i in range(count)]
+
+    def write(self, address: int, values: Sequence[int]) -> None:
+        for i, value in enumerate(values):
+            self._words[address + 4 * i] = value & 0xFFFFFFFF
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._words)
+
+
+class ReferenceRAC:
+    """Functional stand-in for a StreamingRAC.
+
+    Parameters mirror the real accelerator: words per operation on each
+    port plus the pure compute function.
+    """
+
+    def __init__(
+        self,
+        items_in: Sequence[int],
+        items_out: Sequence[int],
+        compute_fn: Callable[[List[List[int]]], List[List[int]]],
+    ) -> None:
+        self.items_in = list(items_in)
+        self.items_out = list(items_out)
+        self.compute_fn = compute_fn
+        self.in_streams: List[List[int]] = [[] for _ in items_in]
+        self.out_streams: List[List[int]] = [[] for _ in items_out]
+        self.ops_fired = 0
+
+    @classmethod
+    def of(cls, rac: StreamingRAC) -> "ReferenceRAC":
+        """Build the reference twin of a real streaming RAC."""
+        return cls(rac.items_in, rac.items_out, rac.compute_fn)
+
+    def push(self, fifo: int, words: Sequence[int]) -> None:
+        self.in_streams[fifo].extend(words)
+        self._fire_ready()
+
+    def _fire_ready(self) -> None:
+        while all(
+            len(stream) >= need
+            for stream, need in zip(self.in_streams, self.items_in)
+        ):
+            collected = []
+            for port, need in enumerate(self.items_in):
+                collected.append(self.in_streams[port][:need])
+                del self.in_streams[port][:need]
+            outputs = self.compute_fn(collected)
+            for port, words in enumerate(outputs):
+                self.out_streams[port].extend(words)
+            self.ops_fired += 1
+
+    def pop(self, fifo: int, count: int) -> List[int]:
+        stream = self.out_streams[fifo]
+        if len(stream) < count:
+            raise ControllerError(
+                f"reference model: mvfc needs {count} words on output "
+                f"FIFO{fifo} but only {len(stream)} will ever arrive"
+            )
+        words = stream[:count]
+        del stream[:count]
+        return words
+
+
+def execute_reference(
+    program: Sequence[OuInstruction],
+    banks: Dict[int, int],
+    memory: ReferenceMemory,
+    rac: ReferenceRAC,
+    max_steps: int = 100_000,
+) -> int:
+    """Run microcode functionally; returns executed instruction count.
+
+    ``memory`` is mutated in place (like the real system's RAM).
+    """
+    pc = 0
+    ofr = 0
+    loop_count = 0
+    loop_body = 0
+    loop_active = False
+    executed = 0
+    while executed < max_steps:
+        if pc >= len(program):
+            raise ControllerError("reference model: ran past the program")
+        instr = program[pc]
+        pc += 1
+        executed += 1
+        op = instr.op
+        if op in (OuOp.MVTC, OuOp.MVTCX):
+            offset = instr.offset + (ofr if op is OuOp.MVTCX else 0)
+            base = banks[instr.bank]
+            rac.push(instr.fifo, memory.read(base + 4 * offset, instr.count))
+        elif op in (OuOp.MVFC, OuOp.MVFCX):
+            offset = instr.offset + (ofr if op is OuOp.MVFCX else 0)
+            base = banks[instr.bank]
+            memory.write(base + 4 * offset, rac.pop(instr.fifo, instr.count))
+        elif op in (OuOp.EXEC, OuOp.EXECS, OuOp.NOP, OuOp.WAIT,
+                    OuOp.WAITF, OuOp.SYNC, OuOp.IRQ):
+            pass  # no functional effect
+        elif op is OuOp.JMP:
+            pc = instr.imm
+        elif op is OuOp.LOOP:
+            if loop_active:
+                raise ControllerError("reference model: nested loop")
+            loop_active = True
+            loop_count = instr.imm
+            loop_body = pc
+        elif op is OuOp.ENDL:
+            if not loop_active:
+                raise ControllerError("reference model: endl without loop")
+            loop_count -= 1
+            if loop_count > 0:
+                pc = loop_body
+            else:
+                loop_active = False
+        elif op is OuOp.ADDOFR:
+            ofr += instr.imm
+        elif op is OuOp.CLROFR:
+            ofr = 0
+        elif op in (OuOp.EOP, OuOp.HALT):
+            return executed
+        else:  # pragma: no cover
+            raise ControllerError(f"reference model: unhandled {op}")
+    raise ControllerError("reference model: step limit exceeded")

@@ -1,0 +1,28 @@
+"""GPP substrate: RISC ISA, assembler, instruction-set simulator, kernels."""
+
+from . import kernels
+from .assembler import AssembledProgram, assemble
+from .cpu import CPU
+from .isa import (
+    CostModel,
+    Format,
+    Instruction,
+    Op,
+    decode,
+    encode,
+    parse_register,
+)
+
+__all__ = [
+    "AssembledProgram",
+    "CPU",
+    "CostModel",
+    "Format",
+    "Instruction",
+    "Op",
+    "assemble",
+    "decode",
+    "encode",
+    "kernels",
+    "parse_register",
+]

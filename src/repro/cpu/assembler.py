@@ -1,0 +1,401 @@
+"""Two-pass assembler for the GPP ISA.
+
+Accepts the classic free-form syntax used by the hand-written kernels in
+:mod:`repro.cpu.kernels`::
+
+    # comment              ; also a comment
+    .text
+    entry:
+        li   r1, 0x10000       # pseudo: lui + ori (always 2 words)
+        la   r2, table         # pseudo: address of a label
+        lw   r3, 4(r2)
+        addi r3, r3, -1
+        bne  r3, r0, entry
+        halt
+    .data
+    table:
+        .word 1, 2, 0x30
+        .space 16              # bytes, zero filled
+
+Pass 1 sizes everything and collects labels; pass 2 encodes.  Pseudo
+instructions expand to a *fixed* number of words so label arithmetic is
+stable between passes.
+
+Sections: ``.text`` assembles at ``text_base``, ``.data`` at
+``data_base`` (both byte addresses, word aligned).  Labels live in a
+single namespace across sections.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.errors import AssemblerError
+from ..utils import bits
+from .isa import (
+    Format,
+    Instruction,
+    Op,
+    encode,
+    parse_register,
+)
+
+_COMMENT_RE = re.compile(r"[#;].*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):")
+_MEM_OPERAND_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+#: pseudo-instruction name -> number of emitted words
+_PSEUDO_SIZES = {
+    "li": 2,
+    "la": 2,
+    "nop": 1,
+    "mv": 1,
+    "j": 1,
+    "call": 1,
+    "ret": 1,
+    "ble": 1,
+    "bgt": 1,
+    "neg": 1,
+    "not": 1,
+    "beqz": 1,
+    "bnez": 1,
+}
+
+
+@dataclass
+class AssembledProgram:
+    """Output of :func:`assemble`.
+
+    Attributes
+    ----------
+    text / data:
+        Encoded 32-bit words for each section.
+    text_base / data_base:
+        Byte addresses the sections were assembled at.
+    symbols:
+        Label name -> absolute byte address.
+    """
+
+    text: List[int]
+    data: List[int]
+    text_base: int
+    data_base: int
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        return self.text_base
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError as exc:
+            raise AssemblerError(f"unknown symbol {label!r}") from exc
+
+
+@dataclass
+class _Item:
+    """One source statement after pass 1."""
+
+    line: int
+    section: str
+    address: int
+    mnemonic: str
+    operands: List[str]
+    size_words: int
+
+
+def _parse_int(token: str, line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(f"bad integer {token!r}", line) from exc
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+class _Assembler:
+    def __init__(self, text_base: int, data_base: int) -> None:
+        if text_base % 4 or data_base % 4:
+            raise AssemblerError("section bases must be word aligned")
+        self.text_base = text_base
+        self.data_base = data_base
+        self.symbols: Dict[str, int] = {}
+        self.items: List[_Item] = []
+
+    # -- pass 1 ------------------------------------------------------------
+    def scan(self, source: str) -> None:
+        counters = {"text": self.text_base, "data": self.data_base}
+        section = "text"
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _COMMENT_RE.sub("", raw).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if not match:
+                    break
+                label = match.group(1)
+                if label in self.symbols:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno)
+                self.symbols[label] = counters[section]
+                line = line[match.end():].strip()
+            if not line:
+                continue
+            if line.startswith("."):
+                section, size = self._scan_directive(
+                    line, lineno, section, counters[section]
+                )
+                if size:
+                    counters[section] += size
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            size = self._instruction_size(mnemonic, lineno)
+            self.items.append(
+                _Item(lineno, section, counters[section], mnemonic,
+                      operands, size)
+            )
+            counters[section] += 4 * size
+
+    def _scan_directive(
+        self, line: str, lineno: int, section: str, address: int
+    ) -> Tuple[str, int]:
+        parts = line.split(None, 1)
+        directive = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if directive == ".text":
+            return "text", 0
+        if directive == ".data":
+            return "data", 0
+        if directive == ".word":
+            values = _split_operands(rest)
+            if not values:
+                raise AssemblerError(".word needs at least one value", lineno)
+            self.items.append(
+                _Item(lineno, section, address, ".word", values, len(values))
+            )
+            return section, 4 * len(values)
+        if directive == ".space":
+            nbytes = _parse_int(rest, lineno)
+            if nbytes < 0 or nbytes % 4:
+                raise AssemblerError(
+                    ".space size must be a non-negative multiple of 4", lineno
+                )
+            self.items.append(
+                _Item(lineno, section, address, ".space", [rest], nbytes // 4)
+            )
+            return section, nbytes
+        raise AssemblerError(f"unknown directive {directive!r}", lineno)
+
+    def _instruction_size(self, mnemonic: str, lineno: int) -> int:
+        if mnemonic in _PSEUDO_SIZES:
+            return _PSEUDO_SIZES[mnemonic]
+        try:
+            Op[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", lineno) from exc
+        return 1
+
+    # -- pass 2 -------------------------------------------------------
+    def emit(self) -> AssembledProgram:
+        text: List[int] = []
+        data: List[int] = []
+        for item in self.items:
+            words = self._emit_item(item)
+            target = text if item.section == "text" else data
+            base = self.text_base if item.section == "text" else self.data_base
+            index = (item.address - base) // 4
+            if index != len(target):
+                raise AssemblerError(
+                    f"internal: section misalignment at line {item.line}"
+                )
+            target.extend(words)
+        return AssembledProgram(
+            text=text,
+            data=data,
+            text_base=self.text_base,
+            data_base=self.data_base,
+            symbols=dict(self.symbols),
+        )
+
+    def _emit_item(self, item: _Item) -> List[int]:
+        if item.mnemonic == ".word":
+            return [
+                bits.to_unsigned(self._value(tok, item.line))
+                for tok in item.operands
+            ]
+        if item.mnemonic == ".space":
+            return [0] * item.size_words
+        if item.mnemonic in _PSEUDO_SIZES:
+            return self._emit_pseudo(item)
+        return [self._emit_native(item, item.mnemonic, item.operands)]
+
+    def _value(self, token: str, line: int) -> int:
+        """An integer literal or a label address."""
+        token = token.strip()
+        if token in self.symbols:
+            return self.symbols[token]
+        return _parse_int(token, line)
+
+    def _branch_offset(self, item: _Item, token: str, pc: int) -> int:
+        target = self._value(token, item.line)
+        delta = target - (pc + 4)
+        if delta % 4:
+            raise AssemblerError("branch target misaligned", item.line)
+        return delta // 4
+
+    # -- pseudo expansion --------------------------------------------------
+    def _emit_pseudo(self, item: _Item) -> List[int]:
+        name, ops, line = item.mnemonic, item.operands, item.line
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{name} expects {count} operand(s), got {len(ops)}", line
+                )
+
+        if name in ("li", "la"):
+            need(2)
+            rd = parse_register(ops[0])
+            value = bits.to_unsigned(self._value(ops[1], line))
+            hi = (value >> 16) & 0xFFFF
+            lo = value & 0xFFFF
+            return [
+                encode(Instruction(Op.LUI, rd=rd, imm=hi)),
+                encode(Instruction(Op.ORI, rd=rd, rs1=rd, imm=lo)),
+            ]
+        if name == "nop":
+            need(0)
+            return [encode(Instruction(Op.ADDI, rd=0, rs1=0, imm=0))]
+        if name == "mv":
+            need(2)
+            return [encode(Instruction(
+                Op.ADDI, rd=parse_register(ops[0]),
+                rs1=parse_register(ops[1]), imm=0))]
+        if name == "neg":
+            need(2)
+            return [encode(Instruction(
+                Op.SUB, rd=parse_register(ops[0]), rs1=0,
+                rs2=parse_register(ops[1])))]
+        if name == "not":
+            need(2)
+            return [encode(Instruction(
+                Op.XORI, rd=parse_register(ops[0]),
+                rs1=parse_register(ops[1]), imm=0xFFFF))]
+        if name == "j":
+            need(1)
+            offset = self._branch_offset(item, ops[0], item.address)
+            return [encode(Instruction(Op.JAL, rd=0, imm=offset))]
+        if name == "call":
+            need(1)
+            offset = self._branch_offset(item, ops[0], item.address)
+            return [encode(Instruction(Op.JAL, rd=31, imm=offset))]
+        if name == "ret":
+            need(0)
+            return [encode(Instruction(Op.JALR, rd=0, rs1=31, imm=0))]
+        if name in ("ble", "bgt"):
+            need(3)
+            rs1 = parse_register(ops[0])
+            rs2 = parse_register(ops[1])
+            offset = self._branch_offset(item, ops[2], item.address)
+            op = Op.BGE if name == "ble" else Op.BLT
+            # a <= b  <=>  b >= a ; a > b  <=>  b < a
+            return [encode(Instruction(op, rs1=rs2, rs2=rs1, imm=offset))]
+        if name in ("beqz", "bnez"):
+            need(2)
+            rs1 = parse_register(ops[0])
+            offset = self._branch_offset(item, ops[1], item.address)
+            op = Op.BEQ if name == "beqz" else Op.BNE
+            return [encode(Instruction(op, rs1=rs1, rs2=0, imm=offset))]
+        raise AssemblerError(f"unhandled pseudo {name!r}", line)  # pragma: no cover
+
+    # -- native encoding ------------------------------------------------
+    def _emit_native(self, item: _Item, name: str, ops: List[str]) -> int:
+        line = item.line
+        op = Op[name.upper()]
+        fmt = Instruction(op).format
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{name} expects {count} operand(s), got {len(ops)}", line
+                )
+
+        try:
+            if fmt is Format.NONE:
+                need(0)
+                return encode(Instruction(op))
+            if fmt is Format.R:
+                need(3)
+                return encode(Instruction(
+                    op, rd=parse_register(ops[0]),
+                    rs1=parse_register(ops[1]),
+                    rs2=parse_register(ops[2])))
+            if fmt is Format.I:
+                need(3)
+                return encode(Instruction(
+                    op, rd=parse_register(ops[0]),
+                    rs1=parse_register(ops[1]),
+                    imm=self._value(ops[2], line)))
+            if fmt is Format.LUI:
+                need(2)
+                return encode(Instruction(
+                    op, rd=parse_register(ops[0]),
+                    imm=self._value(ops[1], line)))
+            if fmt in (Format.LOAD, Format.STORE):
+                need(2)
+                match = _MEM_OPERAND_RE.match(ops[1].replace(" ", ""))
+                if not match:
+                    raise AssemblerError(
+                        f"bad memory operand {ops[1]!r}", line)
+                imm = self._value(match.group(1), line)
+                base = parse_register(match.group(2))
+                return encode(Instruction(
+                    op, rd=parse_register(ops[0]), rs1=base, imm=imm))
+            if fmt is Format.BRANCH:
+                need(3)
+                return encode(Instruction(
+                    op, rs1=parse_register(ops[0]),
+                    rs2=parse_register(ops[1]),
+                    imm=self._branch_offset(item, ops[2], item.address)))
+            if fmt is Format.JAL:
+                need(2)
+                return encode(Instruction(
+                    op, rd=parse_register(ops[0]),
+                    imm=self._branch_offset(item, ops[1], item.address)))
+            if fmt is Format.JALR:
+                need(3)
+                return encode(Instruction(
+                    op, rd=parse_register(ops[0]),
+                    rs1=parse_register(ops[1]),
+                    imm=self._value(ops[2], line)))
+        except AssemblerError:
+            raise
+        except Exception as exc:
+            raise AssemblerError(str(exc), line) from exc
+        raise AssemblerError(f"unhandled format {fmt}", line)  # pragma: no cover
+
+
+def assemble(
+    source: str,
+    text_base: int = 0x0000_0000,
+    data_base: Optional[int] = None,
+) -> AssembledProgram:
+    """Assemble ``source``; see module docstring for the syntax.
+
+    ``data_base`` defaults to the first word-aligned address after a
+    64 KiB text window.
+    """
+    if data_base is None:
+        data_base = text_base + 0x1_0000
+    worker = _Assembler(text_base, data_base)
+    worker.scan(source)
+    return worker.emit()

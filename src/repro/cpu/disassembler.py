@@ -1,0 +1,76 @@
+"""Disassembler for the GPP ISA.
+
+Renders instruction words back into the assembler's input syntax;
+``disassemble_program`` annotates addresses and resolves branch
+targets to labels, producing listings that re-assemble to the same
+words (pinned by a property test).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .isa import Format, Instruction, Op, decode
+
+
+def _reg(index: int) -> str:
+    return f"r{index}"
+
+
+def disassemble_word(word: int, pc: int = 0) -> str:
+    """One instruction word -> assembly text (numeric branch targets)."""
+    instr = decode(word)
+    op = instr.op
+    name = op.name.lower()
+    fmt = instr.format
+    if fmt is Format.NONE:
+        return name
+    if fmt is Format.R:
+        return f"{name} {_reg(instr.rd)}, {_reg(instr.rs1)}, {_reg(instr.rs2)}"
+    if fmt is Format.I:
+        return f"{name} {_reg(instr.rd)}, {_reg(instr.rs1)}, {instr.imm}"
+    if fmt is Format.LUI:
+        return f"{name} {_reg(instr.rd)}, {instr.imm}"
+    if fmt in (Format.LOAD, Format.STORE):
+        return f"{name} {_reg(instr.rd)}, {instr.imm}({_reg(instr.rs1)})"
+    if fmt is Format.BRANCH:
+        target = pc + 4 + 4 * instr.imm
+        return f"{name} {_reg(instr.rs1)}, {_reg(instr.rs2)}, {target:#x}"
+    if fmt is Format.JAL:
+        target = pc + 4 + 4 * instr.imm
+        return f"{name} {_reg(instr.rd)}, {target:#x}"
+    if fmt is Format.JALR:
+        return f"{name} {_reg(instr.rd)}, {_reg(instr.rs1)}, {instr.imm}"
+    raise AssertionError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def disassemble_program(
+    words: Sequence[int], base: int = 0
+) -> str:
+    """Full listing with addresses and synthesized branch labels."""
+    # first pass: collect branch/jump targets
+    targets: Dict[int, str] = {}
+    for index, word in enumerate(words):
+        instr = decode(word)
+        if instr.format in (Format.BRANCH, Format.JAL):
+            address = base + 4 * index + 4 + 4 * instr.imm
+            targets.setdefault(address, f"L{len(targets)}")
+
+    lines: List[str] = []
+    for index, word in enumerate(words):
+        address = base + 4 * index
+        if address in targets:
+            lines.append(f"{targets[address]}:")
+        instr = decode(word)
+        if instr.format in (Format.BRANCH, Format.JAL):
+            target = address + 4 + 4 * instr.imm
+            label = targets.get(target, f"{target:#x}")
+            if instr.format is Format.BRANCH:
+                text = (f"{instr.op.name.lower()} {_reg(instr.rs1)}, "
+                        f"{_reg(instr.rs2)}, {label}")
+            else:
+                text = f"{instr.op.name.lower()} {_reg(instr.rd)}, {label}"
+        else:
+            text = disassemble_word(word, pc=address)
+        lines.append(f"    {text:<36} # {address:#010x}: {word:#010x}")
+    return "\n".join(lines)

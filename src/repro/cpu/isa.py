@@ -1,0 +1,331 @@
+"""Instruction set of the GPP instruction-set simulator.
+
+The paper's SoC is built around a Leon3 (SPARC V8) soft core.  For the
+reproduction we need a *calibrated in-order scalar core*, not SPARC
+compatibility, so the ISS implements a small load/store RISC ISA that is
+easy to hand-write kernels for:
+
+* 32 general registers ``r0..r31`` with ``r0`` hard-wired to zero
+  (``ra`` = ``r31`` is the link register, ``sp`` = ``r30`` by
+  convention),
+* 32-bit fixed-width instructions,
+* ALU register and immediate forms, ``lui``, ``lw``/``sw``,
+  six conditional branches, ``jal``/``jalr``, ``wfi`` and ``halt``.
+
+Encodings (opcode always in bits [31:26]):
+
+======== ==========================================
+R-type   ``op | rd(5) | rs1(5) | rs2(5) | 0(11)``
+I-type   ``op | rd(5) | rs1(5) | imm16``
+store    ``op | rv(5) | rs1(5) | imm16``
+branch   ``op | rs1(5) | rs2(5) | imm16`` (word offset from pc+4)
+jal      ``op | rd(5) | imm21``          (word offset from pc+4)
+======== ==========================================
+
+All 16-bit immediates are sign-extended (including the logical ops --
+documented divergence from MIPS, chosen for uniformity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sim.errors import EncodingError
+from ..utils import bits
+
+N_REGS = 32
+
+#: conventional register aliases accepted by the assembler
+REG_ALIASES: Dict[str, int] = {
+    "zero": 0,
+    "sp": 30,
+    "ra": 31,
+}
+
+
+class Format(enum.Enum):
+    """Operand layout of an instruction."""
+
+    R = "r"          # rd, rs1, rs2
+    I = "i"          # rd, rs1, imm
+    LUI = "lui"      # rd, imm
+    LOAD = "load"    # rd, imm(rs1)
+    STORE = "store"  # rv, imm(rs1)
+    BRANCH = "b"     # rs1, rs2, target
+    JAL = "jal"      # rd, target
+    JALR = "jalr"    # rd, rs1, imm
+    NONE = "none"    # no operands
+
+
+class Op(enum.IntEnum):
+    """Opcode numbers (6-bit space)."""
+
+    HALT = 0x00
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    OR = 0x04
+    XOR = 0x05
+    SLL = 0x06
+    SRL = 0x07
+    SRA = 0x08
+    SLT = 0x09
+    SLTU = 0x0A
+    MUL = 0x0B
+    DIV = 0x0C
+    REM = 0x0D
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SLLI = 0x14
+    SRLI = 0x15
+    SRAI = 0x16
+    SLTI = 0x17
+    LUI = 0x18
+    LW = 0x20
+    SW = 0x21
+    BEQ = 0x28
+    BNE = 0x29
+    BLT = 0x2A
+    BGE = 0x2B
+    BLTU = 0x2C
+    BGEU = 0x2D
+    JAL = 0x30
+    JALR = 0x31
+    WFI = 0x38
+
+
+#: format of each opcode
+OP_FORMAT: Dict[Op, Format] = {
+    Op.HALT: Format.NONE,
+    Op.ADD: Format.R,
+    Op.SUB: Format.R,
+    Op.AND: Format.R,
+    Op.OR: Format.R,
+    Op.XOR: Format.R,
+    Op.SLL: Format.R,
+    Op.SRL: Format.R,
+    Op.SRA: Format.R,
+    Op.SLT: Format.R,
+    Op.SLTU: Format.R,
+    Op.MUL: Format.R,
+    Op.DIV: Format.R,
+    Op.REM: Format.R,
+    Op.ADDI: Format.I,
+    Op.ANDI: Format.I,
+    Op.ORI: Format.I,
+    Op.XORI: Format.I,
+    Op.SLLI: Format.I,
+    Op.SRLI: Format.I,
+    Op.SRAI: Format.I,
+    Op.SLTI: Format.I,
+    Op.LUI: Format.LUI,
+    Op.LW: Format.LOAD,
+    Op.SW: Format.STORE,
+    Op.BEQ: Format.BRANCH,
+    Op.BNE: Format.BRANCH,
+    Op.BLT: Format.BRANCH,
+    Op.BGE: Format.BRANCH,
+    Op.BLTU: Format.BRANCH,
+    Op.BGEU: Format.BRANCH,
+    Op.JAL: Format.JAL,
+    Op.JALR: Format.JALR,
+    Op.WFI: Format.NONE,
+}
+
+BRANCH_OPS = {Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+ALU_R_OPS = {
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SRA,
+    Op.SLT, Op.SLTU, Op.MUL, Op.DIV, Op.REM,
+}
+ALU_I_OPS = {
+    Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLLI, Op.SRLI, Op.SRAI, Op.SLTI,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    Field meaning depends on :attr:`op`'s format; unused fields are 0.
+    ``imm`` is stored sign-extended (a plain Python int, possibly
+    negative).
+    """
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def format(self) -> Format:
+        return OP_FORMAT[self.op]
+
+
+def op_zero_extends(op: Op) -> bool:
+    """True for immediates stored zero-extended (logical ops, lui)."""
+    return op in (Op.ANDI, Op.ORI, Op.XORI, Op.LUI)
+
+
+def _check_reg(value: int, what: str) -> None:
+    if not 0 <= value < N_REGS:
+        raise EncodingError(f"{what} r{value} out of range")
+
+
+def encode(instr: Instruction) -> int:
+    """Encode a decoded instruction into its 32-bit word."""
+    fmt = instr.format
+    word = int(instr.op) << 26
+    _check_reg(instr.rd, "rd")
+    _check_reg(instr.rs1, "rs1")
+    _check_reg(instr.rs2, "rs2")
+    if fmt is Format.R:
+        return word | (instr.rd << 21) | (instr.rs1 << 16) | (instr.rs2 << 11)
+    if fmt in (Format.I, Format.LOAD, Format.JALR):
+        # Logical immediates are zero-extended (so `ori` can build the
+        # low half of any 32-bit constant); the rest sign-extend.
+        if op_zero_extends(instr.op):
+            ok = bits.fits_unsigned(instr.imm, 16) or bits.fits_signed(instr.imm, 16)
+        else:
+            ok = bits.fits_signed(instr.imm, 16)
+        if not ok:
+            raise EncodingError(f"imm {instr.imm} does not fit 16 bits")
+        return (
+            word
+            | (instr.rd << 21)
+            | (instr.rs1 << 16)
+            | bits.to_unsigned(instr.imm, 16)
+        )
+    if fmt is Format.LUI:
+        if not (bits.fits_signed(instr.imm, 16) or bits.fits_unsigned(instr.imm, 16)):
+            raise EncodingError(f"lui imm {instr.imm} does not fit 16 bits")
+        return word | (instr.rd << 21) | bits.to_unsigned(instr.imm, 16)
+    if fmt is Format.STORE:
+        # store value register travels in the rd slot
+        if not bits.fits_signed(instr.imm, 16):
+            raise EncodingError(f"imm {instr.imm} does not fit 16 bits")
+        return (
+            word
+            | (instr.rd << 21)
+            | (instr.rs1 << 16)
+            | bits.to_unsigned(instr.imm, 16)
+        )
+    if fmt is Format.BRANCH:
+        if not bits.fits_signed(instr.imm, 16):
+            raise EncodingError(f"branch offset {instr.imm} does not fit")
+        return (
+            word
+            | (instr.rs1 << 21)
+            | (instr.rs2 << 16)
+            | bits.to_unsigned(instr.imm, 16)
+        )
+    if fmt is Format.JAL:
+        if not bits.fits_signed(instr.imm, 21):
+            raise EncodingError(f"jal offset {instr.imm} does not fit")
+        return word | (instr.rd << 21) | bits.to_unsigned(instr.imm, 21)
+    if fmt is Format.NONE:
+        return word
+    raise EncodingError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises
+    ------
+    EncodingError
+        If the opcode field holds an undefined opcode.
+    """
+    opcode = (word >> 26) & 0x3F
+    try:
+        op = Op(opcode)
+    except ValueError as exc:
+        raise EncodingError(f"undefined opcode {opcode:#x}") from exc
+    fmt = OP_FORMAT[op]
+    if fmt is Format.R:
+        return Instruction(
+            op,
+            rd=(word >> 21) & 0x1F,
+            rs1=(word >> 16) & 0x1F,
+            rs2=(word >> 11) & 0x1F,
+        )
+    if fmt in (Format.I, Format.LOAD, Format.JALR, Format.STORE):
+        raw = word & 0xFFFF
+        imm = raw if op_zero_extends(op) else bits.to_signed(raw, 16)
+        return Instruction(
+            op,
+            rd=(word >> 21) & 0x1F,
+            rs1=(word >> 16) & 0x1F,
+            imm=imm,
+        )
+    if fmt is Format.LUI:
+        return Instruction(
+            op,
+            rd=(word >> 21) & 0x1F,
+            imm=word & 0xFFFF,
+        )
+    if fmt is Format.BRANCH:
+        return Instruction(
+            op,
+            rs1=(word >> 21) & 0x1F,
+            rs2=(word >> 16) & 0x1F,
+            imm=bits.to_signed(word & 0xFFFF, 16),
+        )
+    if fmt is Format.JAL:
+        return Instruction(
+            op,
+            rd=(word >> 21) & 0x1F,
+            imm=bits.to_signed(word & 0x1FFFFF, 21),
+        )
+    return Instruction(op)
+
+
+def parse_register(token: str) -> int:
+    """Parse ``r7`` / ``ra`` / ``zero`` into a register number."""
+    token = token.strip().lower()
+    if token in REG_ALIASES:
+        return REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        number = int(token[1:])
+        if 0 <= number < N_REGS:
+            return number
+    raise EncodingError(f"bad register name {token!r}")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-instruction cycle costs (Leon3-like, warm caches).
+
+    Leon3 executes most integer instructions in one cycle; loads hit the
+    data cache in one cycle; the optional MAC makes ``mul``
+    single-cycle; ``div`` is iterative (35 cycles in the GRLIB
+    implementation).  These constants are what the in-text SW cycle
+    numbers of the paper assume.
+    """
+
+    alu: int = 1
+    load: int = 1
+    store: int = 1
+    mul: int = 1
+    div: int = 35
+    branch: int = 1
+    jump: int = 1
+
+    def cost(self, op: Op) -> int:
+        if op is Op.MUL:
+            return self.mul
+        if op in (Op.DIV, Op.REM):
+            return self.div
+        if op is Op.LW:
+            return self.load
+        if op is Op.SW:
+            return self.store
+        if op in BRANCH_OPS:
+            return self.branch
+        if op in (Op.JAL, Op.JALR):
+            return self.jump
+        return self.alu

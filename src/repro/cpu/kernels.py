@@ -1,0 +1,464 @@
+"""Hand-written assembly kernels for the GPP ISS.
+
+These are the "time-optimized software versions" of Table I: the 2-D
+IDCT and the DFT, written directly in the ISS assembly language the way
+one would write them for a Leon3 without an FPU (fixed-point, unrolled
+inner loops, pointer arithmetic instead of index math).
+
+Each ``*_source`` function returns assembly text with well-known data
+labels; callers locate the arrays through
+:meth:`~repro.cpu.assembler.AssembledProgram.address_of` and poke/peek
+memory directly (the role the test harness on the real board plays).
+
+Arithmetic conventions match :mod:`repro.utils.fixedpoint`:
+
+* IDCT: Q(2.13) coefficient matrix, round-half-up at each 1-D pass,
+  final saturation to 16 bits -- bit-exact against
+  :func:`repro.utils.fixedpoint.idct2_q15`.
+* direct DFT: Q15 twiddles, per-term product pre-shift by 8 to keep the
+  32-bit accumulators safe, final shift by ``15 + log2(n) - 8``
+  (within a couple of LSB of :func:`direct_dft_q15`).
+* radix-2 FFT: bit-exact against :func:`repro.utils.fixedpoint.fft_q15`
+  (same rounding, same per-stage scaling).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.errors import ConfigurationError
+from ..utils import bits as bitutils
+from ..utils.fixedpoint import (
+    IDCT_COEF_BITS,
+    IDCT_SIZE,
+    idct_coefficient_matrix,
+    twiddle_table_q15,
+)
+
+
+def _words_directive(values: List[int], per_line: int = 8) -> str:
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start : start + per_line]
+        lines.append("    .word " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# 2-D IDCT
+# ---------------------------------------------------------------------------
+
+def _idct_pass(
+    label: str,
+    in_label_reg: str,
+    out_reg: str,
+    tap_in_stride: int,
+    outer_in_stride: int,
+    inner_in_stride: int,
+    saturate: bool,
+) -> str:
+    """Emit one 1-D pass over all 64 elements (8 outer x 8 inner).
+
+    Outer loop walks ``r10`` (input base) by ``outer_in_stride`` and the
+    coefficient-matrix row pointer by 32; the inner loop walks ``r10``'s
+    tap base by ``inner_in_stride``.  Taps are fully unrolled with
+    explicit offsets ``tap_in_stride * k``.
+    """
+    taps = []
+    for k in range(IDCT_SIZE):
+        off_m = 4 * k
+        off_x = tap_in_stride * k
+        taps.append(f"    lw   r20, {off_m}(r12)")
+        taps.append(f"    lw   r21, {off_x}(r13)")
+        taps.append(f"    mul  r23, r20, r21")
+        if k == 0:
+            taps.append("    mv   r22, r23")
+        else:
+            taps.append("    add  r22, r22, r23")
+    tap_block = "\n".join(taps)
+    rounding = 1 << (IDCT_COEF_BITS - 1)
+    saturation = ""
+    if saturate:
+        saturation = f"""\
+    ble  r22, r28, {label}_nohi
+    mv   r22, r28
+{label}_nohi:
+    bge  r22, r29, {label}_nolo
+    mv   r22, r29
+{label}_nolo:
+"""
+    return f"""\
+    li   r5, 8              # outer counter
+    mv   r10, {in_label_reg}   # input walker
+    mv   r11, {out_reg}        # output walker
+{label}_outer:
+    li   r6, 8              # inner counter
+    mv   r12, r3            # coefficient matrix row pointer
+    mv   r13, r10           # tap base for this output
+{label}_inner:
+{tap_block}
+    addi r22, r22, {rounding}
+    srai r22, r22, {IDCT_COEF_BITS}
+{saturation}    sw   r22, 0(r11)
+    addi r11, r11, 4
+    addi r12, r12, 32       # next matrix row
+    addi r13, r13, {inner_in_stride}
+    addi r6, r6, -1
+    bne  r6, r0, {label}_inner
+    addi r10, r10, {outer_in_stride}
+    addi r5, r5, -1
+    bne  r5, r0, {label}_outer
+"""
+
+
+def idct_sw_source() -> str:
+    """Assembly for the software 2-D 8x8 IDCT (Table I, IDCT/SW row).
+
+    Data labels: ``idct_in`` (64 coefficient words), ``idct_out``
+    (64 sample words); ``idct_mat`` and ``idct_tmp`` are internal.
+
+    Pass 1 computes, for every row ``r`` and output index ``n``::
+
+        tmp[r][n] = round(sum_k M[n][k] * in[r][k] >> 13)
+
+    row-major; pass 2 then walks the columns of ``tmp`` against the
+    matrix rows and produces the final block in row-major order with
+    16-bit saturation.  Bit-exact against ``fixedpoint.idct2_q15``.
+    """
+    matrix = idct_coefficient_matrix()
+    flat_matrix = [matrix[n][k] for n in range(8) for k in range(8)]
+    pass1 = _idct_pass(
+        "p1",
+        in_label_reg="r1",
+        out_reg="r4",
+        tap_in_stride=4,
+        outer_in_stride=32,
+        inner_in_stride=0,
+        saturate=False,
+    )
+    # Pass 2 computes out[r][c] = sum_k M[r][k]*tmp[k][c]: the matrix
+    # row advances with the *outer* loop, so it needs its own body.
+    pass2 = _idct_pass2_body()
+    return f"""\
+# 2-D 8x8 IDCT, fixed point Q(2.13), row pass then column pass.
+.text
+    la   r1, idct_in
+    la   r2, idct_out
+    la   r3, idct_mat
+    la   r4, idct_tmp
+    li   r28, 32767
+    li   r29, -32768
+{pass1}
+{pass2}
+    halt
+.data
+idct_in:
+    .space 256
+idct_tmp:
+    .space 256
+idct_out:
+    .space 256
+idct_mat:
+{_words_directive(flat_matrix)}
+"""
+
+
+def _idct_pass2_body() -> str:
+    """Column pass: ``out[r][c] = sat(round(sum_k M[r][k]*tmp[k][c]))``.
+
+    Outer loop over ``r`` advances the matrix row pointer by 32 and the
+    output pointer stays sequential; the inner loop over ``c`` advances
+    the tmp column base by 4.  Taps walk tmp with stride 32.
+    """
+    taps = []
+    for k in range(IDCT_SIZE):
+        off_m = 4 * k
+        off_x = 32 * k
+        taps.append(f"    lw   r20, {off_m}(r12)")
+        taps.append(f"    lw   r21, {off_x}(r13)")
+        taps.append(f"    mul  r23, r20, r21")
+        if k == 0:
+            taps.append("    mv   r22, r23")
+        else:
+            taps.append("    add  r22, r22, r23")
+    tap_block = "\n".join(taps)
+    rounding = 1 << (IDCT_COEF_BITS - 1)
+    return f"""\
+    li   r5, 8              # r counter
+    mv   r12, r3            # matrix row pointer (row r)
+    mv   r11, r2            # output walker (row major)
+p2_outer:
+    li   r6, 8              # c counter
+    mv   r13, r4            # tmp column base
+p2_inner:
+{tap_block}
+    addi r22, r22, {rounding}
+    srai r22, r22, {IDCT_COEF_BITS}
+    ble  r22, r28, p2_nohi
+    mv   r22, r28
+p2_nohi:
+    bge  r22, r29, p2_nolo
+    mv   r22, r29
+p2_nolo:
+    sw   r22, 0(r11)
+    addi r11, r11, 4
+    addi r13, r13, 4        # next column
+    addi r6, r6, -1
+    bne  r6, r0, p2_inner
+    addi r12, r12, 32       # next matrix row
+    addi r5, r5, -1
+    bne  r5, r0, p2_outer
+"""
+
+
+# ---------------------------------------------------------------------------
+# direct DFT (the paper's SW baseline scale)
+# ---------------------------------------------------------------------------
+
+def dft_sw_source(n: int) -> str:
+    """Assembly for the direct O(N^2) Q15 DFT.
+
+    Data labels: ``xr``/``xi`` (inputs, n words each), ``yr``/``yi``
+    (outputs), ``cos_t``/``sin_t`` (twiddle ROMs, embedded).
+
+    Products are pre-shifted by 8 before accumulation so a 32-bit
+    accumulator survives N <= 1024 terms; the final shift of
+    ``15 + log2(n) - 8`` realizes the 1/N-scaled DFT.
+    """
+    if not bitutils.is_power_of_two(n) or n < 2:
+        raise ConfigurationError(f"DFT size must be a power of two >= 2, got {n}")
+    if n > 1024:
+        raise ConfigurationError("direct DFT kernel supports n <= 1024")
+    log2n = bitutils.log2_exact(n)
+    final_shift = 15 + log2n - 8
+    cos_t, sin_t = twiddle_table_q15(n)
+    return f"""\
+# Direct {n}-point complex DFT, Q15, output scaled by 1/N.
+.text
+    la   r1, xr
+    la   r2, xi
+    la   r3, cos_t
+    la   r4, sin_t
+    la   r5, yr
+    la   r6, yi
+    li   r7, {n}
+    li   r23, {n - 1}
+    mv   r8, r0             # k = 0
+k_loop:
+    mv   r20, r0            # acc_r
+    mv   r21, r0            # acc_i
+    mv   r9, r0             # twiddle index
+    mv   r10, r1            # xr walker
+    mv   r11, r2            # xi walker
+    mv   r12, r7            # t counter
+t_loop:
+    slli r13, r9, 2
+    add  r14, r3, r13
+    lw   r15, 0(r14)        # wr = cos[idx]
+    add  r14, r4, r13
+    lw   r16, 0(r14)        # wi = -sin[idx]
+    lw   r17, 0(r10)        # x_re
+    lw   r18, 0(r11)        # x_im
+    mul  r19, r17, r15
+    mul  r22, r18, r16
+    sub  r19, r19, r22      # re*wr - im*wi
+    srai r19, r19, 8
+    add  r20, r20, r19
+    mul  r19, r17, r16
+    mul  r22, r18, r15
+    add  r19, r19, r22      # re*wi + im*wr
+    srai r19, r19, 8
+    add  r21, r21, r19
+    addi r10, r10, 4
+    addi r11, r11, 4
+    add  r9, r9, r8         # idx += k
+    and  r9, r9, r23        # idx mod n
+    addi r12, r12, -1
+    bne  r12, r0, t_loop
+    srai r20, r20, {final_shift}
+    srai r21, r21, {final_shift}
+    slli r13, r8, 2
+    add  r14, r5, r13
+    sw   r20, 0(r14)
+    add  r14, r6, r13
+    sw   r21, 0(r14)
+    addi r8, r8, 1
+    bne  r8, r7, k_loop
+    halt
+.data
+xr:
+    .space {4 * n}
+xi:
+    .space {4 * n}
+yr:
+    .space {4 * n}
+yi:
+    .space {4 * n}
+cos_t:
+{_words_directive(cos_t)}
+sin_t:
+{_words_directive(sin_t)}
+"""
+
+
+# ---------------------------------------------------------------------------
+# radix-2 FFT (ablation: even against FFT software, hardware wins)
+# ---------------------------------------------------------------------------
+
+def fft_sw_source(n: int) -> str:
+    """Assembly for the in-place radix-2 DIT FFT, bit-exact vs ``fft_q15``.
+
+    Data labels: ``xr``/``xi`` (in-place input/output, n words each);
+    twiddle ROMs embedded as ``cos_t``/``sin_t``.
+    """
+    if not bitutils.is_power_of_two(n) or n < 2:
+        raise ConfigurationError(f"FFT size must be a power of two >= 2, got {n}")
+    log2n = bitutils.log2_exact(n)
+    cos_t, sin_t = twiddle_table_q15(n)
+    return f"""\
+# In-place radix-2 DIT FFT, {n} points, Q15, 1/N scaling.
+.text
+    la   r1, xr
+    la   r2, xi
+    la   r3, cos_t
+    la   r4, sin_t
+    li   r7, {n}
+# ---- bit-reversal permutation ----
+    mv   r8, r0             # i
+br_loop:
+    mv   r9, r0             # j
+    mv   r10, r8
+    li   r11, {log2n}
+br_inner:
+    slli r9, r9, 1
+    andi r12, r10, 1
+    or   r9, r9, r12
+    srli r10, r10, 1
+    addi r11, r11, -1
+    bne  r11, r0, br_inner
+    ble  r9, r8, br_skip
+    slli r12, r8, 2
+    slli r13, r9, 2
+    add  r14, r1, r12
+    add  r15, r1, r13
+    lw   r16, 0(r14)
+    lw   r17, 0(r15)
+    sw   r17, 0(r14)
+    sw   r16, 0(r15)
+    add  r14, r2, r12
+    add  r15, r2, r13
+    lw   r16, 0(r14)
+    lw   r17, 0(r15)
+    sw   r17, 0(r14)
+    sw   r16, 0(r15)
+br_skip:
+    addi r8, r8, 1
+    bne  r8, r7, br_loop
+# ---- butterfly stages ----
+    li   r24, 1             # span
+    srli r25, r7, 1         # twiddle stride = n / (2*span)
+stage_loop:
+    mv   r8, r0             # group start
+group_loop:
+    mv   r9, r0             # k
+    mv   r26, r0            # twiddle index
+bf_loop:
+    add  r10, r8, r9        # a index
+    add  r11, r10, r24      # b index
+    slli r12, r10, 2
+    slli r13, r11, 2
+    slli r14, r26, 2
+    add  r15, r3, r14
+    lw   r16, 0(r15)        # wr
+    add  r15, r4, r14
+    lw   r17, 0(r15)        # wi
+    add  r15, r1, r13
+    lw   r18, 0(r15)        # br
+    add  r15, r2, r13
+    lw   r19, 0(r15)        # bi
+    mul  r20, r18, r16
+    addi r20, r20, 16384
+    srai r20, r20, 15
+    mul  r21, r19, r17
+    addi r21, r21, 16384
+    srai r21, r21, 15
+    sub  r20, r20, r21      # tr
+    mul  r21, r18, r17
+    addi r21, r21, 16384
+    srai r21, r21, 15
+    mul  r22, r19, r16
+    addi r22, r22, 16384
+    srai r22, r22, 15
+    add  r21, r21, r22      # ti
+    add  r15, r1, r12
+    lw   r18, 0(r15)        # ar
+    add  r15, r2, r12
+    lw   r19, 0(r15)        # ai
+    add  r22, r18, r20
+    srai r22, r22, 1
+    add  r15, r1, r12
+    sw   r22, 0(r15)
+    sub  r22, r18, r20
+    srai r22, r22, 1
+    add  r15, r1, r13
+    sw   r22, 0(r15)
+    add  r22, r19, r21
+    srai r22, r22, 1
+    add  r15, r2, r12
+    sw   r22, 0(r15)
+    sub  r22, r19, r21
+    srai r22, r22, 1
+    add  r15, r2, r13
+    sw   r22, 0(r15)
+    add  r26, r26, r25      # twiddle index += stride
+    addi r9, r9, 1
+    bne  r9, r24, bf_loop
+    slli r12, r24, 1
+    add  r8, r8, r12        # start += 2*span
+    blt  r8, r7, group_loop
+    slli r24, r24, 1        # span *= 2
+    srli r25, r25, 1        # stride /= 2
+    blt  r24, r7, stage_loop
+    halt
+.data
+xr:
+    .space {4 * n}
+xi:
+    .space {4 * n}
+cos_t:
+{_words_directive(cos_t)}
+sin_t:
+{_words_directive(sin_t)}
+"""
+
+
+# ---------------------------------------------------------------------------
+# generic helpers
+# ---------------------------------------------------------------------------
+
+def memcpy_source(n_words: int) -> str:
+    """Word-by-word copy loop: the PIO transfer cost of a naive driver.
+
+    Data labels: ``src`` and ``dst`` (``n_words`` each).
+    """
+    if n_words < 1:
+        raise ConfigurationError("memcpy needs at least one word")
+    return f"""\
+.text
+    la   r1, src
+    la   r2, dst
+    li   r3, {n_words}
+copy_loop:
+    lw   r4, 0(r1)
+    sw   r4, 0(r2)
+    addi r1, r1, 4
+    addi r2, r2, 4
+    addi r3, r3, -1
+    bne  r3, r0, copy_loop
+    halt
+.data
+src:
+    .space {4 * n_words}
+dst:
+    .space {4 * n_words}
+"""

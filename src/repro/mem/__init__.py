@@ -1,0 +1,30 @@
+"""Memory substrate: SRAM/ROM models, DMA peripheral, snooping cache."""
+
+from .cache import Cache
+from .dma import (
+    CTRL_DONE,
+    CTRL_IE,
+    CTRL_START,
+    DMAEngine,
+    REG_COUNT,
+    REG_CTRL,
+    REG_DST,
+    REG_SRC,
+)
+from .memory import Memory, ROM
+from .sdram import SDRAM
+
+__all__ = [
+    "CTRL_DONE",
+    "CTRL_IE",
+    "CTRL_START",
+    "Cache",
+    "DMAEngine",
+    "Memory",
+    "REG_COUNT",
+    "REG_CTRL",
+    "REG_DST",
+    "REG_SRC",
+    "ROM",
+    "SDRAM",
+]

@@ -1,0 +1,140 @@
+"""Direct-mapped write-through cache with bus snooping.
+
+Section IV of the paper notes that when an OCP writes results to memory
+behind the CPU's back, "the only trick is to manage caches properly,
+which is often useless since current systems implement cache snooping".
+This module provides that snooping cache so the claim can be exercised:
+the Ouessant master engine calls :meth:`Cache.snoop_write` for every
+word it writes, invalidating any stale line the CPU holds.
+
+The cache is a timing/coherence model, not a second copy of the data:
+lookups tell the CPU how many cycles an access costs and keep the tag
+array coherent, while the data always lives in backing memory.  This
+keeps the instruction-set simulator fast without losing the behaviour
+the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.errors import ConfigurationError
+from ..sim.tracing import Stats
+from ..utils import bits
+
+
+@dataclass
+class _Line:
+    valid: bool = False
+    tag: int = -1
+
+
+class Cache:
+    """Direct-mapped, write-through, no-write-allocate cache model.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity (power of two).
+    line_bytes:
+        Line size (power of two, >= 4).
+    hit_cycles:
+        Cost of a hit (1 on Leon3).
+    miss_penalty:
+        Extra cycles to refill a line from the bus (beyond the hit cost).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 4096,
+        line_bytes: int = 32,
+        hit_cycles: int = 1,
+        miss_penalty: int = 8,
+    ) -> None:
+        if not bits.is_power_of_two(size_bytes):
+            raise ConfigurationError(f"cache size {size_bytes} not a power of two")
+        if not bits.is_power_of_two(line_bytes) or line_bytes < 4:
+            raise ConfigurationError(f"bad line size {line_bytes}")
+        if line_bytes > size_bytes:
+            raise ConfigurationError("line larger than cache")
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.hit_cycles = hit_cycles
+        self.miss_penalty = miss_penalty
+        self.n_lines = size_bytes // line_bytes
+        self._offset_bits = bits.log2_exact(line_bytes)
+        self._index_bits = bits.log2_exact(self.n_lines)
+        self._lines: List[_Line] = [_Line() for _ in range(self.n_lines)]
+        self.stats = Stats()
+
+    # -- address helpers ----------------------------------------------
+    def _split(self, address: int) -> "tuple[int, int]":
+        index = (address >> self._offset_bits) & bits.mask(self._index_bits)
+        tag = address >> (self._offset_bits + self._index_bits)
+        return index, tag
+
+    # -- CPU side -------------------------------------------------------
+    def access_read(self, address: int) -> int:
+        """Model a CPU load; returns the cycle cost and updates tags."""
+        index, tag = self._split(address)
+        line = self._lines[index]
+        if line.valid and line.tag == tag:
+            self.stats.incr("read_hits")
+            return self.hit_cycles
+        self.stats.incr("read_misses")
+        line.valid = True
+        line.tag = tag
+        return self.hit_cycles + self.miss_penalty
+
+    def access_write(self, address: int) -> int:
+        """Model a CPU store (write-through: always goes to memory).
+
+        No-write-allocate: a miss does not install the line.
+        """
+        index, tag = self._split(address)
+        line = self._lines[index]
+        if line.valid and line.tag == tag:
+            self.stats.incr("write_hits")
+        else:
+            self.stats.incr("write_misses")
+        return self.hit_cycles
+
+    # -- bus side (coherence) ---------------------------------------------
+    def snoop_write(self, address: int) -> bool:
+        """Another master wrote ``address``: invalidate if we hold it.
+
+        Returns True when a line was actually invalidated.
+        """
+        index, tag = self._split(address)
+        line = self._lines[index]
+        if line.valid and line.tag == tag:
+            line.valid = False
+            self.stats.incr("snoop_invalidations")
+            return True
+        return False
+
+    def snoop_write_burst(self, address: int, count: int) -> int:
+        """Snoop a burst of ``count`` words; returns invalidation count."""
+        invalidated = 0
+        for i in range(count):
+            if self.snoop_write(address + 4 * i):
+                invalidated += 1
+        return invalidated
+
+    def flush(self) -> None:
+        """Invalidate everything (the software fallback to snooping)."""
+        for line in self._lines:
+            line.valid = False
+        self.stats.incr("flushes")
+
+    def holds(self, address: int) -> bool:
+        index, tag = self._split(address)
+        line = self._lines[index]
+        return line.valid and line.tag == tag
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.get("read_hits") + self.stats.get("write_hits")
+        total = hits + self.stats.get("read_misses") + self.stats.get("write_misses")
+        return hits / total if total else 0.0

@@ -1,0 +1,260 @@
+"""RAC (Reconfigurable Acceleration Coprocessor) framework.
+
+A RAC is the user-defined accelerator of Figure 1: it sees only FIFO
+interfaces plus the ``start_op``/``end_op`` handshake of Figure 2, and
+"can be changed independently from other components of the OCP".
+
+:class:`RAC` defines that contract.  :class:`StreamingRAC` implements
+the ubiquitous collect/compute/emit behaviour (consume N input words,
+compute after a pipeline latency, stream M output words) that covers
+both accelerators evaluated in the paper and is the target of the
+HLS-wrapper generator (:mod:`repro.rac.hls`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.errors import ConfigurationError, RACError
+from ..sim.kernel import Component
+from ..sim.tracing import Stats
+from .fifo import FIFO
+
+
+class RACPortSpec:
+    """Static description of a RAC's FIFO ports.
+
+    ``input_widths`` / ``output_widths`` are the accelerator-side widths
+    in bits (the bus side of every FIFO is always 32, the system word).
+    """
+
+    def __init__(
+        self,
+        input_widths: Sequence[int] = (32,),
+        output_widths: Sequence[int] = (32,),
+        fifo_depth: int = 64,
+    ) -> None:
+        if not input_widths or not output_widths:
+            raise ConfigurationError("a RAC needs >= 1 input and output port")
+        self.input_widths = list(input_widths)
+        self.output_widths = list(output_widths)
+        self.fifo_depth = fifo_depth
+
+
+class RAC(Component):
+    """Accelerator base class: FIFO ports + start/end handshake.
+
+    Subclasses implement :meth:`tick` to consume from ``self.inputs``
+    and produce into ``self.outputs``, and must raise :attr:`end_op`
+    when an operation's results have been fully emitted.
+    """
+
+    #: human-readable accelerator kind (used in reports)
+    kind = "generic"
+
+    def __init__(self, name: str, ports: Optional[RACPortSpec] = None) -> None:
+        super().__init__(name)
+        self.ports = ports or RACPortSpec()
+        self.inputs: List[FIFO] = []
+        self.outputs: List[FIFO] = []
+        self.end_op = False
+        self.busy = False
+        self.ops_completed = 0
+        self.stats = Stats()
+
+    # -- wiring -----------------------------------------------------------
+    def bind(self, inputs: List[FIFO], outputs: List[FIFO]) -> None:
+        """Attach the FIFO fabric (done by the OCP assembly)."""
+        if len(inputs) != len(self.ports.input_widths):
+            raise ConfigurationError(
+                f"{self.name}: expected {len(self.ports.input_widths)} "
+                f"input FIFOs, got {len(inputs)}"
+            )
+        if len(outputs) != len(self.ports.output_widths):
+            raise ConfigurationError(
+                f"{self.name}: expected {len(self.ports.output_widths)} "
+                f"output FIFOs, got {len(outputs)}"
+            )
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+
+    # -- handshake -----------------------------------------------------------
+    def start_op(self) -> None:
+        """Pulse from the controller's ``exec``/``execs`` instruction."""
+        self.end_op = False
+        self.busy = True
+        self.stats.incr("start_ops")
+
+    def _finish_op(self) -> None:
+        self.busy = False
+        self.end_op = True
+        self.ops_completed += 1
+        self.trace_event("end_op", completed=self.ops_completed)
+
+    def reset(self) -> None:
+        self.end_op = False
+        self.busy = False
+        self.ops_completed = 0
+
+
+class _Phase(enum.Enum):
+    COLLECT = "collect"
+    COMPUTE = "compute"
+    EMIT = "emit"
+    DONE = "done"
+
+
+#: computes output word lists from input word lists (one list per port)
+ComputeFn = Callable[[List[List[int]]], List[List[int]]]
+
+
+class StreamingRAC(RAC):
+    """Collect / compute / emit accelerator behaviour.
+
+    Parameters
+    ----------
+    items_in:
+        Words consumed per operation on each input port.
+    items_out:
+        Words produced per operation on each output port.
+    compute_fn:
+        Pure function mapping collected input words to output words
+        (bit-exact datapath model).
+    compute_latency:
+        Cycles between the last input word and the first output word
+        (the paper's ``Lat.`` column).
+    input_rate / output_rate:
+        Port words moved per cycle while streaming.
+    autostart:
+        When True (default) the accelerator consumes input as soon as
+        it appears in the FIFOs -- the behaviour Figure 4's microcode
+        relies on (eight ``mvtc`` fill transfers before ``execs``).
+        When False, collection begins only at ``start_op``.
+    """
+
+    kind = "streaming"
+
+    def __init__(
+        self,
+        name: str,
+        items_in: Sequence[int],
+        items_out: Sequence[int],
+        compute_fn: ComputeFn,
+        compute_latency: int = 1,
+        input_rate: int = 1,
+        output_rate: int = 1,
+        autostart: bool = True,
+        ports: Optional[RACPortSpec] = None,
+    ) -> None:
+        n_in = len(items_in)
+        n_out = len(items_out)
+        if ports is None:
+            ports = RACPortSpec([32] * n_in, [32] * n_out)
+        if len(ports.input_widths) != n_in or len(ports.output_widths) != n_out:
+            raise ConfigurationError(f"{name}: port/item count mismatch")
+        if compute_latency < 0:
+            raise ConfigurationError("compute_latency must be >= 0")
+        if input_rate < 1 or output_rate < 1:
+            raise ConfigurationError("streaming rates must be >= 1")
+        super().__init__(name, ports)
+        self.items_in = list(items_in)
+        self.items_out = list(items_out)
+        self.compute_fn = compute_fn
+        self.compute_latency = compute_latency
+        self.input_rate = input_rate
+        self.output_rate = output_rate
+        self.autostart = autostart
+        self._phase = _Phase.DONE
+        self._collected: List[List[int]] = []
+        self._to_emit: List[List[int]] = []
+        self._emitted: List[int] = []
+        self._compute_timer = 0
+
+    # -- handshake ---------------------------------------------------------
+    def start_op(self) -> None:
+        super().start_op()
+        if self._phase is _Phase.DONE:
+            self._begin_collect()
+
+    def _begin_collect(self) -> None:
+        self._phase = _Phase.COLLECT
+        self._collected = [[] for _ in self.items_in]
+        self._to_emit = []
+        self._emitted = []
+
+    # -- per-cycle behaviour -----------------------------------------------
+    def tick(self) -> None:
+        if self._phase is _Phase.DONE:
+            if self.autostart and any(not f.empty for f in self.inputs):
+                self._begin_collect()
+            else:
+                return
+        if self._phase is _Phase.COLLECT:
+            self._tick_collect()
+        elif self._phase is _Phase.COMPUTE:
+            self._tick_compute()
+        if self._phase is _Phase.EMIT:
+            self._tick_emit()
+
+    def _tick_collect(self) -> None:
+        done = True
+        for port, fifo in enumerate(self.inputs):
+            need = self.items_in[port] - len(self._collected[port])
+            take = min(need, self.input_rate, fifo.occupancy)
+            if take:
+                self._collected[port].extend(fifo.pop_many(take))
+                self.stats.incr("words_in", take)
+            if len(self._collected[port]) < self.items_in[port]:
+                done = False
+        if done:
+            self._phase = _Phase.COMPUTE
+            self._compute_timer = self.compute_latency
+            self.trace_event("collect_done")
+
+    def _tick_compute(self) -> None:
+        if self._compute_timer > 0:
+            self._compute_timer -= 1
+            return
+        outputs = self.compute_fn(self._collected)
+        if len(outputs) != len(self.items_out):
+            raise RACError(
+                f"{self.name}: compute_fn returned {len(outputs)} ports, "
+                f"expected {len(self.items_out)}"
+            )
+        for port, words in enumerate(outputs):
+            if len(words) != self.items_out[port]:
+                raise RACError(
+                    f"{self.name}: compute_fn port {port} produced "
+                    f"{len(words)} words, expected {self.items_out[port]}"
+                )
+        self._to_emit = [list(w) for w in outputs]
+        self._emitted = [0] * len(outputs)
+        self._phase = _Phase.EMIT
+        self.trace_event("compute_done")
+
+    def _tick_emit(self) -> None:
+        all_done = True
+        for port, fifo in enumerate(self.outputs):
+            sent = self._emitted[port]
+            total = self.items_out[port]
+            budget = self.output_rate
+            while sent < total and budget and fifo.can_push():
+                fifo.push(self._to_emit[port][sent])
+                sent += 1
+                budget -= 1
+                self.stats.incr("words_out")
+            self._emitted[port] = sent
+            if sent < total:
+                all_done = False
+        if all_done:
+            self._phase = _Phase.DONE
+            self._finish_op()
+
+    def reset(self) -> None:
+        super().reset()
+        self._phase = _Phase.DONE
+        self._collected = []
+        self._to_emit = []
+        self._emitted = []
+        self._compute_timer = 0

@@ -1,0 +1,81 @@
+"""Spiral-style iterative DFT RAC -- the paper's second accelerator.
+
+"The second one is the Spiral iterative DFT.  It can be configured to
+accept different DFT size ... the previously described 256 points DFT
+was used."  Table I reports a 2485-cycle compute latency for the
+256-point configuration.
+
+Latency model
+-------------
+Spiral's iterative reuse datapath passes all N points through one
+butterfly stage per pass, log2(N) times::
+
+    lat(N) = log2(N) * (N + STAGE_OVERHEAD) + PIPELINE_FILL
+
+``STAGE_OVERHEAD = 54`` and ``PIPELINE_FILL = 5`` calibrate the model
+to the paper's measured ``lat(256) = 2485``.
+
+Data format: two 32-bit words per complex point (re then im, Q15
+sign-extended), so a 256-point transform moves 512 words in and 512
+words out -- the 1024 total words of the paper's in-text transfer
+analysis.  Arithmetic is the bit-exact scaled radix-2 FFT
+(:func:`repro.utils.fixedpoint.fft_q15`, output = DFT/N).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sim.errors import ConfigurationError
+from ..utils import bits
+from ..utils.fixedpoint import deinterleave_complex, fft_q15, interleave_complex
+from .base import RACPortSpec, StreamingRAC
+
+#: calibration constants (see module docstring)
+STAGE_OVERHEAD = 54
+PIPELINE_FILL = 5
+
+
+def dft_latency(n_points: int) -> int:
+    """Compute-cycle latency of the iterative DFT core for ``n_points``."""
+    stages = bits.log2_exact(n_points)
+    return stages * (n_points + STAGE_OVERHEAD) + PIPELINE_FILL
+
+
+class DFTRac(StreamingRAC):
+    """Iterative streaming radix-2 DFT accelerator.
+
+    Parameters
+    ----------
+    n_points:
+        Transform size (power of two, 8..4096).
+    """
+
+    kind = "dft"
+
+    def __init__(
+        self, n_points: int = 256, name: str = "dft", fifo_depth: int = 64
+    ) -> None:
+        if not isinstance(n_points, int):
+            raise ConfigurationError(
+                f"n_points must be an int, got {n_points!r}"
+            )
+        if not bits.is_power_of_two(n_points) or not 8 <= n_points <= 4096:
+            raise ConfigurationError(
+                f"DFT size must be a power of two in [8, 4096], got {n_points}"
+            )
+        self.n_points = n_points
+
+        def compute(collected: List[List[int]]) -> List[List[int]]:
+            re, im = deinterleave_complex(collected[0])
+            out_re, out_im = fft_q15(re, im)
+            return [interleave_complex(out_re, out_im)]
+
+        super().__init__(
+            name,
+            items_in=[2 * n_points],
+            items_out=[2 * n_points],
+            compute_fn=compute,
+            compute_latency=dft_latency(n_points),
+            ports=RACPortSpec([32], [32], fifo_depth=fifo_depth),
+        )

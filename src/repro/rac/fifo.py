@@ -1,0 +1,157 @@
+"""Variable-width FIFOs with (de)serialization.
+
+Figure 2 of the paper shows the RAC integration pattern: the Ouessant
+project "provides variable width FIFOs, which can be used to interface
+with many accelerators.  They provide serializing and deserializing
+functionalities, and can thus serve as simple data formatting entities"
+-- e.g. a 32-bit bus side feeding a 96-bit accelerator port.
+
+:class:`FIFO` implements exactly that: the push side and pop side may
+have different widths (any pair with an integer bit ratio through their
+GCD), and words are re-chunked little-endian-first.  Pushes performed
+during a cycle become visible to the pop side on the *next* cycle
+(registered full/empty flags), matching synchronous FIFO behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..sim.errors import ConfigurationError, FIFOError
+from ..sim.kernel import Component
+from ..sim.tracing import Stats
+
+
+class FIFO(Component):
+    """Synchronous FIFO with independent push/pop widths.
+
+    Parameters
+    ----------
+    width_push / width_pop:
+        Bit widths of the two ports.  Both must be multiples of their
+        GCD such that each port word maps to a whole number of internal
+        atoms (always true by GCD construction); widths of 8..1024 bits
+        are accepted.
+    depth:
+        Capacity in *pop-side* words.
+
+    Data is re-chunked least-significant-atom first: pushing 32-bit
+    words ``w0, w1, w2`` into a 96-bit pop port yields the single word
+    ``w2 << 64 | w1 << 32 | w0``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        width_push: int = 32,
+        width_pop: int = 32,
+        depth: int = 64,
+    ) -> None:
+        super().__init__(name)
+        for width in (width_push, width_pop):
+            if not 8 <= width <= 1024:
+                raise ConfigurationError(f"FIFO width {width} out of range")
+        if depth < 1:
+            raise ConfigurationError(f"FIFO depth {depth} must be >= 1")
+        self.width_push = width_push
+        self.width_pop = width_pop
+        self.depth = depth
+        self._atom_bits = math.gcd(width_push, width_pop)
+        self._push_ratio = width_push // self._atom_bits
+        self._pop_ratio = width_pop // self._atom_bits
+        self._capacity_atoms = depth * self._pop_ratio
+        self._atoms: List[int] = []
+        self._staged: List[int] = []
+        self.stats = Stats()
+
+    # -- capacity ----------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Complete pop-side words currently available."""
+        return len(self._atoms) // self._pop_ratio
+
+    @property
+    def occupancy_atoms(self) -> int:
+        return len(self._atoms)
+
+    @property
+    def free_push_words(self) -> int:
+        """How many push-side words fit right now (staged included)."""
+        used = len(self._atoms) + len(self._staged)
+        return (self._capacity_atoms - used) // self._push_ratio
+
+    @property
+    def empty(self) -> bool:
+        return self.occupancy == 0
+
+    @property
+    def full(self) -> bool:
+        return self.free_push_words == 0
+
+    def can_push(self, count: int = 1) -> bool:
+        return self.free_push_words >= count
+
+    def can_pop(self, count: int = 1) -> bool:
+        return self.occupancy >= count
+
+    # -- data --------------------------------------------------------------
+    def push(self, value: int) -> None:
+        """Stage one push-side word (visible to pop side next cycle)."""
+        if not self.can_push():
+            raise FIFOError(f"push to full FIFO {self.name}")
+        if value < 0 or value >> self.width_push:
+            raise FIFOError(
+                f"value {value:#x} does not fit {self.width_push} bits"
+            )
+        atom_mask = (1 << self._atom_bits) - 1
+        for i in range(self._push_ratio):
+            self._staged.append((value >> (i * self._atom_bits)) & atom_mask)
+        self.stats.incr("pushes")
+
+    def push_many(self, values: List[int]) -> None:
+        for value in values:
+            self.push(value)
+
+    def pop(self) -> int:
+        """Remove and return one pop-side word."""
+        if not self.can_pop():
+            raise FIFOError(f"pop from empty FIFO {self.name}")
+        value = 0
+        for i in range(self._pop_ratio):
+            value |= self._atoms.pop(0) << (i * self._atom_bits)
+        self.stats.incr("pops")
+        return value
+
+    def pop_many(self, count: int) -> List[int]:
+        return [self.pop() for _ in range(count)]
+
+    def peek(self) -> int:
+        """Next pop-side word without removing it."""
+        if not self.can_pop():
+            raise FIFOError(f"peek on empty FIFO {self.name}")
+        value = 0
+        for i in range(self._pop_ratio):
+            value |= self._atoms[i] << (i * self._atom_bits)
+        return value
+
+    def drain(self) -> List[int]:
+        """Pop everything currently visible (testing convenience)."""
+        return self.pop_many(self.occupancy)
+
+    # -- clocked behaviour ------------------------------------------------
+    def commit(self) -> None:
+        if self._staged:
+            self._atoms.extend(self._staged)
+            self._staged.clear()
+            self.stats.maximize("max_occupancy_atoms", len(self._atoms))
+
+    def reset(self) -> None:
+        self._atoms.clear()
+        self._staged.clear()
+        self.stats = Stats()
+
+    # -- sizing (for the synthesis estimator) -------------------------------
+    @property
+    def storage_bits(self) -> int:
+        return self._capacity_atoms * self._atom_bits

@@ -1,0 +1,46 @@
+"""2-D IDCT RAC -- the paper's first accelerator.
+
+"The first accelerator is a locally developed 2D Inverse Discrete
+Cosine Transform (IDCT) for JPEG decoding."  Table I reports a compute
+latency (``Lat.``) of 18 cycles for one 8x8 block, i.e. a deeply
+pipelined row/column datapath.
+
+The behavioural model consumes 64 coefficient words (one sign-extended
+16-bit coefficient per 32-bit word, row major), waits the 18-cycle
+pipeline latency after the last input, then streams 64 sample words.
+The arithmetic is bit-exact :func:`repro.utils.fixedpoint.idct2_q15`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..utils.fixedpoint import IDCT_SIZE, idct2_q15, words_to_block
+from .base import RACPortSpec, StreamingRAC
+
+#: Table I, IDCT row, "Lat." column.
+IDCT_PIPELINE_LATENCY = 18
+
+BLOCK_WORDS = IDCT_SIZE * IDCT_SIZE
+
+
+def _idct_compute(collected: List[List[int]]) -> List[List[int]]:
+    block = words_to_block(collected[0])
+    result = idct2_q15(block)
+    return [[value & 0xFFFFFFFF for row in result for value in row]]
+
+
+class IDCTRac(StreamingRAC):
+    """Pipelined 8x8 2-D IDCT accelerator (one block per operation)."""
+
+    kind = "idct2d"
+
+    def __init__(self, name: str = "idct", fifo_depth: int = 64) -> None:
+        super().__init__(
+            name,
+            items_in=[BLOCK_WORDS],
+            items_out=[BLOCK_WORDS],
+            compute_fn=_idct_compute,
+            compute_latency=IDCT_PIPELINE_LATENCY,
+            ports=RACPortSpec([32], [32], fifo_depth=fifo_depth),
+        )

@@ -1,0 +1,46 @@
+"""Simulation kernel: clock, components, tracing, errors."""
+
+from .errors import (
+    AddressError,
+    AssemblerError,
+    BusError,
+    ConfigurationError,
+    ControllerError,
+    DeadlockError,
+    DriverError,
+    EncodingError,
+    FIFOError,
+    MemoryError_,
+    RACError,
+    ReconfigurationError,
+    ReproError,
+    SimulationError,
+)
+from .kernel import Component, Simulator
+from .tracing import Stats, Trace, TraceEvent, VCDWriter
+from .waveform import WaveformProbe, ocp_probe
+
+__all__ = [
+    "AddressError",
+    "AssemblerError",
+    "BusError",
+    "Component",
+    "ConfigurationError",
+    "ControllerError",
+    "DeadlockError",
+    "DriverError",
+    "EncodingError",
+    "FIFOError",
+    "MemoryError_",
+    "RACError",
+    "ReconfigurationError",
+    "ReproError",
+    "SimulationError",
+    "Simulator",
+    "Stats",
+    "Trace",
+    "TraceEvent",
+    "VCDWriter",
+    "WaveformProbe",
+    "ocp_probe",
+]

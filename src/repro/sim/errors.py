@@ -1,0 +1,91 @@
+"""Exception hierarchy for the Ouessant reproduction.
+
+Every error raised by the package derives from :class:`ReproError` so that
+applications can catch simulation problems without masking programming
+errors (``TypeError`` and friends are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Generic runtime error inside the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation reached its cycle limit without meeting a condition.
+
+    Raised by :meth:`repro.sim.kernel.Simulator.run_until` when the
+    predicate never becomes true. Usually indicates a hardware-level
+    deadlock (e.g. a FIFO producer and consumer waiting on each other).
+    """
+
+
+class BusError(ReproError):
+    """Illegal bus activity (unmapped address, bad burst, overlap)."""
+
+
+class AddressError(BusError):
+    """Access to an address that no slave decodes."""
+
+
+class MemoryError_(ReproError):
+    """Out-of-range or misaligned memory access.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``MemoryError``.
+    """
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error while assembling a program.
+
+    Attributes
+    ----------
+    line:
+        1-based source line number where the error occurred, or ``None``
+        when the error is not tied to a specific line.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """A field value does not fit its instruction encoding slot."""
+
+
+class ControllerError(ReproError):
+    """The Ouessant controller hit an illegal state.
+
+    Examples: executing an undefined opcode, referencing an unconfigured
+    memory bank, or addressing a FIFO that the attached RAC does not
+    provide.
+    """
+
+
+class RACError(ReproError):
+    """An accelerator (RAC) was misused or misconfigured."""
+
+
+class FIFOError(RACError):
+    """Illegal FIFO operation (push when full / pop when empty)."""
+
+
+class DriverError(ReproError):
+    """Software-stack misuse (bad bank setup, run before load, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent parameters."""
+
+
+class ReconfigurationError(ReproError):
+    """Dynamic partial reconfiguration was attempted in an illegal state."""

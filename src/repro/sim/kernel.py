@@ -1,0 +1,154 @@
+"""Cycle-driven simulation kernel.
+
+The whole reproduction is built on a deliberately simple execution model:
+a :class:`Simulator` owns a set of :class:`Component` objects and advances
+a global clock one cycle at a time.  On every cycle each component's
+:meth:`Component.tick` is called once, in registration order, followed by
+:meth:`Component.commit` in the same order.
+
+The two-phase scheme gives registered (flip-flop like) semantics where it
+matters: a component computes its next state in ``tick`` using only the
+*current* outputs of other components, then publishes it in ``commit``.
+Components that do not need the distinction can do all their work in
+``tick`` and ignore ``commit``.
+
+This is not an event-driven HDL simulator -- it is the standard
+cycle-approximate style used by architecture simulators, which is the
+right fidelity level for reproducing the paper's cycle counts (bus beats,
+FIFO occupancy, controller FSM states) without modelling individual
+wires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from .errors import DeadlockError, SimulationError
+from .tracing import Trace
+
+
+class Component:
+    """Base class for everything that lives on the simulated clock.
+
+    Subclasses override :meth:`tick` (compute phase) and optionally
+    :meth:`commit` (publish phase) and :meth:`reset`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.sim: Optional["Simulator"] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def attach(self, sim: "Simulator") -> None:
+        """Called by the simulator when the component is registered."""
+        self.sim = sim
+
+    def reset(self) -> None:
+        """Return the component to its power-on state."""
+
+    # -- per-cycle hooks ----------------------------------------------
+    def tick(self) -> None:
+        """Compute phase: runs once per cycle before any commit."""
+
+    def commit(self) -> None:
+        """Publish phase: runs once per cycle after every tick."""
+
+    # -- helpers -------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current cycle number (0 before the first step)."""
+        return self.sim.cycle if self.sim is not None else 0
+
+    def trace_event(self, event: str, **data: object) -> None:
+        """Record an event in the simulator trace, if tracing is on."""
+        if self.sim is not None and self.sim.trace is not None:
+            self.sim.trace.record(self.sim.cycle, self.name, event, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Simulator:
+    """Owns the clock and the component list.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`repro.sim.tracing.Trace` collecting events.
+    """
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.cycle = 0
+        self.trace = trace
+        self._components: List[Component] = []
+        self._names = set()
+
+    # -- registration ----------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        if component.name in self._names:
+            raise SimulationError(
+                f"duplicate component name {component.name!r}"
+            )
+        self._names.add(component.name)
+        self._components.append(component)
+        component.attach(self)
+        return component
+
+    def add_all(self, components: Iterable[Component]) -> None:
+        for component in components:
+            self.add(component)
+
+    def remove(self, component: Component) -> None:
+        """Unregister a component (used by partial reconfiguration)."""
+        self._components.remove(component)
+        self._names.discard(component.name)
+        component.sim = None
+
+    @property
+    def components(self) -> List[Component]:
+        return list(self._components)
+
+    def component(self, name: str) -> Component:
+        for comp in self._components:
+            if comp.name == name:
+                return comp
+        raise KeyError(name)
+
+    # -- execution ---------------------------------------------------------
+    def reset(self) -> None:
+        """Reset the clock and every component."""
+        self.cycle = 0
+        for comp in self._components:
+            comp.reset()
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` cycles."""
+        for _ in range(cycles):
+            for comp in self._components:
+                comp.tick()
+            for comp in self._components:
+                comp.commit()
+            self.cycle += 1
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+        what: str = "condition",
+    ) -> int:
+        """Step until ``predicate()`` is true; return elapsed cycles.
+
+        Raises
+        ------
+        DeadlockError
+            If the predicate is still false after ``max_cycles`` steps.
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                raise DeadlockError(
+                    f"{what} not reached within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start

@@ -1,0 +1,199 @@
+"""Tracing, statistics and VCD export.
+
+Three small facilities used across the simulator:
+
+* :class:`Trace` -- an append-only event log ``(cycle, component, event,
+  data)``.  Cheap enough to leave on in tests; benchmarks run without it.
+* :class:`Stats` -- named monotonically increasing counters with a
+  pretty report, used by the bus / controller / drivers to account for
+  cycles spent in each activity.
+* :class:`VCDWriter` -- minimal value-change-dump writer so waveforms of
+  selected scalar signals can be inspected in GTKWave.  This mirrors how
+  the original project was debugged in RTL simulation.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: int
+    component: str
+    event: str
+    data: Dict[str, object]
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.cycle:>8}] {self.component}: {self.event} {payload}".rstrip()
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events: List[TraceEvent] = []
+        self._capacity = capacity
+
+    def record(
+        self, cycle: int, component: str, event: str, data: Dict[str, object]
+    ) -> None:
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            return
+        self._events.append(TraceEvent(cycle, component, event, dict(data)))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def events(
+        self,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events filtered by component and/or event name."""
+        out = self._events
+        if component is not None:
+            out = [e for e in out if e.component == component]
+        if event is not None:
+            out = [e for e in out if e.event == event]
+        return list(out)
+
+    def first(self, component: str, event: str) -> Optional[TraceEvent]:
+        for entry in self._events:
+            if entry.component == component and entry.event == event:
+                return entry
+        return None
+
+    def dump(self) -> str:
+        return "\n".join(str(e) for e in self._events)
+
+
+class Stats:
+    """Named counters with categories.
+
+    ``Stats`` instances support ``+`` so per-component statistics can be
+    merged into a system-level report.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Counter = Counter()
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+
+    def maximize(self, name: str, value: int) -> None:
+        """Keep the running maximum of a gauge-style statistic."""
+        if value > self._counters.get(name, 0):
+            self._counters[name] = value
+
+    def get(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return sorted(self._counters.items())
+
+    def __add__(self, other: "Stats") -> "Stats":
+        merged = Stats()
+        merged._counters = self._counters + other._counters
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def report(self, title: str = "stats") -> str:
+        lines = [title]
+        width = max((len(k) for k in self._counters), default=0)
+        for key, value in self.items():
+            lines.append(f"  {key:<{width}} {value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class _VCDSignal:
+    name: str
+    width: int
+    ident: str
+    last: Optional[int] = None
+
+
+class VCDWriter:
+    """Minimal VCD (value change dump) writer.
+
+    Usage::
+
+        vcd = VCDWriter(timescale="20ns")      # 50 MHz clock
+        vcd.register("ocp.start", width=1)
+        ...
+        vcd.change(cycle, "ocp.start", 1)
+        text = vcd.render()
+    """
+
+    _IDENT_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+    def __init__(self, timescale: str = "1ns") -> None:
+        self._timescale = timescale
+        self._signals: Dict[str, _VCDSignal] = {}
+        self._changes: List[Tuple[int, str, int]] = []
+
+    def register(self, name: str, width: int = 1) -> None:
+        if name in self._signals:
+            return
+        ident = self._make_ident(len(self._signals))
+        self._signals[name] = _VCDSignal(name, width, ident)
+
+    def _make_ident(self, index: int) -> str:
+        alphabet = self._IDENT_ALPHABET
+        ident = ""
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, len(alphabet))
+            ident = alphabet[rem] + ident
+        return ident
+
+    def change(self, cycle: int, name: str, value: int) -> None:
+        if name not in self._signals:
+            self.register(name, width=max(1, int(value).bit_length()))
+        sig = self._signals[name]
+        if sig.last == value:
+            return
+        sig.last = value
+        self._changes.append((cycle, name, value))
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write(f"$timescale {self._timescale} $end\n")
+        out.write("$scope module repro $end\n")
+        for sig in self._signals.values():
+            kind = "wire"
+            out.write(
+                f"$var {kind} {sig.width} {sig.ident} "
+                f"{sig.name.replace('.', '_')} $end\n"
+            )
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        current: Optional[int] = None
+        for cycle, name, value in sorted(self._changes, key=lambda c: c[0]):
+            if cycle != current:
+                out.write(f"#{cycle}\n")
+                current = cycle
+            sig = self._signals[name]
+            if sig.width == 1:
+                out.write(f"{value & 1}{sig.ident}\n")
+            else:
+                out.write(f"b{value:b} {sig.ident}\n")
+        return out.getvalue()
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.render())

@@ -1,0 +1,19 @@
+"""Software integration: driver, baremetal runtime, Linux model, library."""
+
+from .baremetal import BaremetalRuntime
+from .driver import DRIVER_MASTER, OuessantDriver, RunResult
+from .library import OuessantLibrary
+from .linux import LinuxCosts, LinuxRuntime
+from .profiler import RunProfile, profile_run
+
+__all__ = [
+    "BaremetalRuntime",
+    "DRIVER_MASTER",
+    "LinuxCosts",
+    "LinuxRuntime",
+    "OuessantDriver",
+    "OuessantLibrary",
+    "RunProfile",
+    "RunResult",
+    "profile_run",
+]

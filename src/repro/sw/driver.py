@@ -1,0 +1,225 @@
+"""Low-level Ouessant driver: register access and run sequencing.
+
+This is the software side of Figure 3: the GPP "explicitly controls"
+the OCP "with configuration and start/stop commands".  The driver
+performs every register access as a real bus transaction (so
+configuration overhead is measured, not assumed) and sequences:
+
+1. write the bank base registers used by the microcode,
+2. write PROG_SIZE,
+3. set ``S`` (+ ``IE`` for interrupt mode),
+4. wait for completion by polling ``D`` or sleeping until the IRQ,
+5. acknowledge (clear ``S``).
+
+The baremetal runtime uses it directly; the Linux model wraps each
+driver entry point in syscall costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..bus.types import AccessKind, BusRequest
+from ..core.registers import (
+    CTRL_D,
+    CTRL_IE,
+    CTRL_S,
+    REG_BANK_BASE,
+    REG_CTRL,
+    REG_PROG_SIZE,
+)
+from ..sim.errors import DriverError
+from ..system import RAM_BASE, SoC
+
+#: bus master name used for driver-originated accesses
+DRIVER_MASTER = "cpu"
+
+
+@dataclass
+class RunResult:
+    """Cycle accounting for one accelerated operation.
+
+    All values are in system-clock cycles, measured on the simulator.
+    """
+
+    total_cycles: int
+    config_cycles: int
+    compute_cycles: int
+    ack_cycles: int
+    sw_overhead_cycles: int = 0
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hardware_cycles(self) -> int:
+        """Start-of-config to results-visible, excluding OS overhead."""
+        return self.total_cycles - self.sw_overhead_cycles
+
+
+class OuessantDriver:
+    """Register-level driver for one OCP.
+
+    Parameters
+    ----------
+    soc:
+        The system; the driver issues bus transactions on its bus.
+    ocp_index:
+        Which coprocessor to drive.
+    use_interrupt:
+        Wait for the IRQ line instead of polling ``D`` (Table I was
+        measured in "interrupt mode").
+    """
+
+    def __init__(
+        self, soc: SoC, ocp_index: int = 0, use_interrupt: bool = True
+    ) -> None:
+        self.soc = soc
+        self.ocp = soc.ocps[ocp_index]
+        self.base = soc.ocp_base(ocp_index)
+        self.use_interrupt = use_interrupt
+        self.poll_count = 0
+
+    # -- raw register access (cycle-accurate) -------------------------------
+    def write_register(self, offset: int, value: int) -> int:
+        """One register write over the bus; returns cycles consumed."""
+        start = self.soc.sim.cycle
+        transfer = self.soc.bus.submit(
+            BusRequest(
+                master=DRIVER_MASTER,
+                kind=AccessKind.WRITE,
+                address=self.base + offset,
+                burst=1,
+                data=[value & 0xFFFFFFFF],
+                priority=0,
+            )
+        )
+        self.soc.run_until(lambda: transfer.done, what="register write")
+        return self.soc.sim.cycle - start
+
+    def read_register(self, offset: int) -> "tuple[int, int]":
+        """One register read; returns ``(value, cycles)``."""
+        start = self.soc.sim.cycle
+        transfer = self.soc.bus.submit(
+            BusRequest(
+                master=DRIVER_MASTER,
+                kind=AccessKind.READ,
+                address=self.base + offset,
+                burst=1,
+                priority=0,
+            )
+        )
+        self.soc.run_until(lambda: transfer.done, what="register read")
+        return transfer.data[0], self.soc.sim.cycle - start
+
+    # -- program/data placement (application-owned memory) ------------------
+    def place_program(self, words: List[int], address: int) -> None:
+        """Store microcode at ``address`` in RAM (bank 0 target).
+
+        The application owns this memory; placement happens before the
+        measured window (microcode is written once and reused), so it
+        uses the backdoor.
+        """
+        if address < RAM_BASE:
+            raise DriverError(f"microcode address {address:#x} not in RAM")
+        self.soc.write_ram(address, words)
+
+    # -- run sequencing ---------------------------------------------------
+    def configure(self, banks: Dict[int, int], prog_size: int) -> int:
+        """Write bank bases + PROG_SIZE; returns cycles consumed."""
+        if prog_size < 1:
+            raise DriverError("empty program")
+        cycles = 0
+        for bank, addr in sorted(banks.items()):
+            cycles += self.write_register(REG_BANK_BASE + 4 * bank, addr)
+        cycles += self.write_register(REG_PROG_SIZE, prog_size)
+        return cycles
+
+    def start(self) -> int:
+        """Set S (and IE in interrupt mode); returns cycles consumed."""
+        ctrl = CTRL_S | (CTRL_IE if self.use_interrupt else 0)
+        return self.write_register(REG_CTRL, ctrl)
+
+    def wait_done(self, max_cycles: int = 5_000_000) -> int:
+        """Block until the program signals completion; returns cycles.
+
+        Interrupt mode sleeps until the IRQ line asserts; polling mode
+        repeatedly reads CTRL until ``D`` is set (each poll is a real
+        bus read, stealing bus bandwidth exactly like the classical
+        integration style does).
+        """
+        start = self.soc.sim.cycle
+        if self.use_interrupt:
+            self.soc.run_until(
+                lambda: self.ocp.irq.pending,
+                max_cycles=max_cycles,
+                what="OCP interrupt",
+            )
+            self.ocp.irq.clear()
+        else:
+            self.poll_count = 0
+            while True:
+                value, _ = self.read_register(REG_CTRL)
+                self.poll_count += 1
+                if value & CTRL_D:
+                    break
+                if self.soc.sim.cycle - start > max_cycles:
+                    raise DriverError("poll timeout waiting for D")
+        return self.soc.sim.cycle - start
+
+    def acknowledge(self) -> int:
+        """Clear S, releasing the controller back to idle."""
+        return self.write_register(REG_CTRL, 0)
+
+    def run_image(
+        self, image_bytes: bytes, banks: Dict[int, int]
+    ) -> RunResult:
+        """Run a packed OUFW firmware image.
+
+        The image is validated (magic, checksum, instruction stream)
+        and its bank bitmap checked against ``banks`` before anything
+        touches the hardware -- the loader discipline a shipped
+        firmware format exists for.
+        """
+        from ..core.binary import unpack
+
+        image = unpack(image_bytes)
+        missing = [
+            bank for bank in image.banks_referenced if bank not in banks
+        ]
+        if missing:
+            raise DriverError(
+                f"firmware references unconfigured banks {missing}"
+            )
+        return self.run(image.words, banks)
+
+    def run(
+        self,
+        program_words: List[int],
+        banks: Dict[int, int],
+        program_address: Optional[int] = None,
+    ) -> RunResult:
+        """Full sequence: place microcode, configure, start, wait, ack.
+
+        ``banks`` maps bank numbers to byte addresses; bank 0 is the
+        microcode bank (defaulting to ``program_address``).
+        """
+        if program_address is None:
+            program_address = banks.get(0)
+        if program_address is None:
+            raise DriverError("bank 0 (microcode) address required")
+        all_banks = dict(banks)
+        all_banks[0] = program_address
+        self.place_program(program_words, program_address)
+
+        begin = self.soc.sim.cycle
+        config = self.configure(all_banks, len(program_words))
+        config += self.start()
+        compute = self.wait_done()
+        ack = self.acknowledge()
+        total = self.soc.sim.cycle - begin
+        return RunResult(
+            total_cycles=total,
+            config_cycles=config,
+            compute_cycles=compute,
+            ack_cycles=ack,
+        )

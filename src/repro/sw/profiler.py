@@ -1,0 +1,120 @@
+"""Run profiling: where did the cycles go?
+
+The paper's evaluation narrates its numbers ("given the computing
+time, we have roughly 1500 cycles needed for data transfer...");
+:func:`profile_run` automates that narration for any run: it combines
+the driver's :class:`~repro.sw.driver.RunResult` with the controller,
+bus and FIFO statistics into one structured breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..system import SoC
+from .driver import RunResult
+
+
+@dataclass
+class RunProfile:
+    """Structured cycle/traffic breakdown of one accelerated run."""
+
+    total_cycles: int
+    config_cycles: int
+    ack_cycles: int
+    os_overhead_cycles: int
+    controller_states: Dict[str, int] = field(default_factory=dict)
+    instructions: int = 0
+    words_to_rac: int = 0
+    words_from_rac: int = 0
+    fifo_stall_cycles: int = 0
+    bus_utilization: float = 0.0
+    max_fifo_in_atoms: int = 0
+    max_fifo_out_atoms: int = 0
+
+    @property
+    def words_total(self) -> int:
+        return self.words_to_rac + self.words_from_rac
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Cycles the controller spent in the transfer states.
+
+        Includes FIFO-stall cycles (waiting for the accelerator);
+        subtract :attr:`fifo_stall_cycles` for pure bus time.
+        """
+        return (self.controller_states.get("xfer_to", 0)
+                + self.controller_states.get("xfer_from", 0))
+
+    @property
+    def cycles_per_word(self) -> float:
+        """Pure data-movement cost (stall cycles excluded)."""
+        if not self.words_total:
+            return 0.0
+        busy = max(0, self.transfer_cycles - self.fifo_stall_cycles)
+        return busy / self.words_total
+
+    @property
+    def exec_wait_cycles(self) -> int:
+        return self.controller_states.get("exec_wait", 0)
+
+    def render(self) -> str:
+        lines = [
+            f"total           {self.total_cycles:>8} cycles",
+            f"  GPP config    {self.config_cycles:>8}",
+            f"  GPP ack       {self.ack_cycles:>8}",
+        ]
+        if self.os_overhead_cycles:
+            lines.append(f"  OS overhead   {self.os_overhead_cycles:>8}")
+        for state, cycles in sorted(self.controller_states.items()):
+            lines.append(f"  ctrl {state:<9}{cycles:>8}")
+        lines.extend([
+            f"instructions    {self.instructions:>8}",
+            f"words moved     {self.words_total:>8} "
+            f"({self.words_to_rac} in / {self.words_from_rac} out)",
+            f"cycles/word     {self.cycles_per_word:>8.2f}",
+            f"fifo stalls     {self.fifo_stall_cycles:>8} cycles",
+            f"bus utilization {100 * self.bus_utilization:>7.1f} %",
+        ])
+        return "\n".join(lines)
+
+
+def profile_run(
+    soc: SoC, result: RunResult, ocp_index: int = 0
+) -> RunProfile:
+    """Build a :class:`RunProfile` from a finished run.
+
+    Call right after the driver/runtime returned; reads the cumulative
+    statistics of the OCP and bus (so profile one run per system, or
+    diff the counters yourself for repeated runs).
+    """
+    ocp = soc.ocps[ocp_index]
+    stats = ocp.controller.stats
+    states = {
+        key.split(".", 1)[1]: value
+        for key, value in stats.items()
+        if key.startswith("cycles.") and not key.endswith("fifo_stall")
+    }
+    max_in = max(
+        (f.stats.get("max_occupancy_atoms") for f in ocp.fifos_in),
+        default=0,
+    )
+    max_out = max(
+        (f.stats.get("max_occupancy_atoms") for f in ocp.fifos_out),
+        default=0,
+    )
+    return RunProfile(
+        total_cycles=result.total_cycles,
+        config_cycles=result.config_cycles,
+        ack_cycles=result.ack_cycles,
+        os_overhead_cycles=result.sw_overhead_cycles,
+        controller_states=states,
+        instructions=stats.get("instructions"),
+        words_to_rac=stats.get("words_to_rac"),
+        words_from_rac=stats.get("words_from_rac"),
+        fifo_stall_cycles=stats.get("cycles.fifo_stall"),
+        bus_utilization=soc.bus.utilization(),
+        max_fifo_in_atoms=max_in,
+        max_fifo_out_atoms=max_out,
+    )

@@ -1,0 +1,91 @@
+"""FPGA device capacity models and utilization reports.
+
+"Implementation of the architecture on different FPGA resources show
+very low footprint" -- this module provides the device side of that
+claim: capacity tables for the paper's Artix-7 (Nexys4) plus the other
+families Ouessant targets (Spartan-6 Leon3 boards, the future-work
+Zynq, and an Altera part to show vendor portability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.errors import ConfigurationError
+from .resources import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class Device:
+    """Capacity of one FPGA."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram18: int
+    dsps: int
+
+    def utilization(self, estimate: ResourceEstimate) -> Dict[str, float]:
+        """Fraction of each resource the estimate consumes."""
+        return {
+            "luts": estimate.luts / self.luts,
+            "ffs": estimate.ffs / self.ffs,
+            "bram18": estimate.bram18 / self.bram18 if self.bram18 else 0.0,
+            "dsps": estimate.dsps / self.dsps if self.dsps else 0.0,
+        }
+
+    def fits(self, estimate: ResourceEstimate) -> bool:
+        return all(value <= 1.0 for value in self.utilization(estimate).values())
+
+
+#: the paper's board: Digilent Nexys4, Artix-7 100T
+ARTIX7_100T = Device("xc7a100t", luts=63_400, ffs=126_800, bram18=270, dsps=240)
+#: common Leon3 target of the era
+SPARTAN6_LX45 = Device("xc6slx45", luts=27_288, ffs=54_576, bram18=116, dsps=58)
+#: the future-work Zynq part (PL side of a Zedboard)
+ZYNQ_7020 = Device("xc7z020", luts=53_200, ffs=106_400, bram18=280, dsps=220)
+#: Altera/Intel part, LE-based (LEs mapped 1 LE ~ 1 LUT4 ~ 0.8 LUT6)
+CYCLONE_IV_75 = Device("ep4ce75", luts=60_000, ffs=60_000, bram18=137, dsps=200)
+
+ALL_DEVICES: List[Device] = [
+    ARTIX7_100T,
+    SPARTAN6_LX45,
+    ZYNQ_7020,
+    CYCLONE_IV_75,
+]
+
+
+def device_by_name(name: str) -> Device:
+    for device in ALL_DEVICES:
+        if device.name == name:
+            return device
+    known = ", ".join(d.name for d in ALL_DEVICES)
+    raise ConfigurationError(f"unknown device {name!r} (known: {known})")
+
+
+def utilization_report(
+    estimates: Dict[str, ResourceEstimate], device: Device = ARTIX7_100T
+) -> str:
+    """Text table of component estimates + utilization on a device."""
+    lines = [
+        f"resource report on {device.name}",
+        f"{'component':<24} {'LUT':>7} {'FF':>7} {'BRAM18':>7} {'DSP':>5}",
+    ]
+    total = ResourceEstimate()
+    for name, estimate in estimates.items():
+        total = total + estimate
+        lines.append(
+            f"{name:<24} {estimate.luts:>7} {estimate.ffs:>7} "
+            f"{estimate.bram18:>7} {estimate.dsps:>5}"
+        )
+    lines.append(
+        f"{'TOTAL':<24} {total.luts:>7} {total.ffs:>7} "
+        f"{total.bram18:>7} {total.dsps:>5}"
+    )
+    util = device.utilization(total)
+    lines.append(
+        "utilization: "
+        + ", ".join(f"{key} {100 * value:.1f}%" for key, value in util.items())
+    )
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Hierarchical ("Keep Hierarchy") resource estimation of an OCP.
+
+Section V-B: "the actual OCP implementation consumes a reasonable
+amount of hardware resources (less than 1000 LUT and 750 FF).  This is
+for all OCP related parts: interface, controller and FIFO control.
+FIFO memory is inferred as BRAM, and strongly dependent on the
+accelerator."
+
+:func:`estimate_ocp` reproduces that accounting: one estimate per
+hierarchy level (interface, controller, FIFO control, FIFO memory,
+RAC), so both the paper's envelope claim and its with/without-OCP
+comparison can be regenerated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.coprocessor import OuessantCoprocessor
+from ..core.isa import N_BANKS
+from ..rac.base import RAC, StreamingRAC
+from ..rac.dft import DFTRac
+from ..rac.fifo import FIFO
+from ..rac.fir import FIRRac
+from ..rac.idct import IDCTRac
+from ..rac.scale import PassthroughRac, ScaleRac
+from .resources import (
+    ResourceEstimate,
+    ZERO,
+    adder,
+    comparator,
+    counter,
+    decoder,
+    fsm,
+    multiplier,
+    mux,
+    ram,
+    register,
+    shift_register,
+)
+
+
+def estimate_interface() -> ResourceEstimate:
+    """The Figure 3 interface: registers + translation + bus FSMs."""
+    estimate = register(32) * (2 + N_BANKS)          # the 10 config registers
+    estimate += mux(2 + N_BANKS, 32)                 # register read mux
+    estimate += decoder(2 + N_BANKS)                 # register write decode
+    estimate += adder(32)                            # bank base + offset
+    estimate += mux(N_BANKS, 32)                     # bank select
+    estimate += fsm(4, outputs=6)                    # bus slave FSM
+    estimate += fsm(6, outputs=8)                    # bus master FSM
+    estimate += counter(7)                           # burst beat counter
+    estimate += register(32)                         # address holding register
+    estimate += comparator(7)                        # burst-done compare
+    return estimate
+
+
+def estimate_controller(ibuf_size: int = 128, prefetch: bool = True) -> ResourceEstimate:
+    """The fetch/decode/execute FSM with its architectural registers."""
+    estimate = register(32)                          # instruction register
+    estimate += counter(14)                          # PC
+    estimate += fsm(10, outputs=8)                   # main control FSM
+    estimate += counter(12) + register(14)           # loop count + loop body
+    estimate += adder(14) + register(14)             # OFR
+    estimate += counter(7)                           # transfer remaining
+    estimate += adder(14)                            # transfer offset stepper
+    estimate += register(3) * 2                      # bank / fifo selectors
+    estimate += decoder(18)                          # opcode decode
+    estimate += comparator(14) + comparator(7) * 2   # pc/prog, fifo levels
+    estimate += counter(20)                          # wait timer
+    if prefetch:
+        estimate += ram(ibuf_size * 32)              # instruction buffer
+        estimate += counter(int(math.log2(max(2, ibuf_size))) + 1)
+    return estimate
+
+
+def estimate_fifo_control(fifo: FIFO) -> ResourceEstimate:
+    """Pointers, level counter and (de)serializer of one FIFO."""
+    atoms = fifo.depth * (fifo.width_pop // math.gcd(fifo.width_push, fifo.width_pop))
+    ptr_bits = max(1, math.ceil(math.log2(max(2, atoms))))
+    estimate = counter(ptr_bits) * 2                 # read/write pointers
+    estimate += counter(ptr_bits + 1)                # occupancy counter
+    estimate += comparator(ptr_bits + 1) * 2         # full / empty
+    if fifo.width_push != fifo.width_pop:
+        estimate += shift_register(max(fifo.width_push, fifo.width_pop))
+    return estimate
+
+
+def estimate_fifo_memory(fifo: FIFO) -> ResourceEstimate:
+    """The storage array: "FIFO memory is inferred as BRAM"."""
+    return ram(fifo.storage_bits)
+
+
+# ---------------------------------------------------------------------------
+# accelerator estimates (order-of-magnitude models, labelled as such)
+# ---------------------------------------------------------------------------
+
+def _estimate_dft(rac: DFTRac) -> ResourceEstimate:
+    """Spiral iterative radix-2 core: 1 butterfly + ping-pong RAMs."""
+    n = rac.n_points
+    estimate = multiplier() * 4                      # complex multiplier
+    estimate += adder(18) * 6                        # butterfly adders + scaling
+    estimate += register(18) * 12                    # pipeline registers
+    estimate += fsm(8, outputs=8)                    # stage sequencer
+    estimate += counter(int(math.log2(n)) + 1) * 3   # stage/index counters
+    estimate += ram(2 * n * 32)                      # ping-pong data RAM
+    estimate += ram(n * 32)                          # twiddle ROM
+    estimate += ResourceEstimate(luts=400, ffs=500)  # routing/control glue
+    return estimate
+
+
+def _estimate_idct(_rac: IDCTRac) -> ResourceEstimate:
+    """Row/column 2-D IDCT: 8 MACs + transpose memory."""
+    estimate = multiplier() * 8
+    estimate += adder(24) * 8
+    estimate += register(24) * 16
+    estimate += fsm(6, outputs=6)
+    estimate += ram(64 * 16)                         # transpose buffer
+    estimate += ResourceEstimate(luts=600, ffs=400)  # coefficient ROM + glue
+    return estimate
+
+
+def _estimate_fir(rac: FIRRac) -> ResourceEstimate:
+    estimate = multiplier() * rac.n_taps
+    estimate += register(16) * rac.n_taps            # delay line
+    estimate += register(16) * rac.n_taps            # coefficient registers
+    estimate += adder(32) * max(1, rac.n_taps - 1)   # adder tree
+    estimate += fsm(4, outputs=4)
+    estimate += ResourceEstimate(luts=120)
+    return estimate
+
+
+def _estimate_simple(_rac: RAC) -> ResourceEstimate:
+    """Passthrough/scale cores: a multiplier and a register or two."""
+    return multiplier() + register(32) * 2 + fsm(3) + ResourceEstimate(luts=40)
+
+
+def _estimate_generic(rac: RAC) -> ResourceEstimate:
+    """Fallback for HLS-wrapped or user RACs: scale with port count."""
+    n_ports = len(rac.ports.input_widths) + len(rac.ports.output_widths)
+    estimate = fsm(6, outputs=6) + ResourceEstimate(luts=200 * n_ports,
+                                                    ffs=150 * n_ports)
+    if isinstance(rac, StreamingRAC):
+        buffer_bits = 32 * (sum(rac.items_in) + sum(rac.items_out))
+        estimate += ram(buffer_bits)
+    return estimate
+
+
+def estimate_rac(rac: RAC) -> ResourceEstimate:
+    """Dispatch to the per-accelerator area model."""
+    if isinstance(rac, DFTRac):
+        return _estimate_dft(rac)
+    if isinstance(rac, IDCTRac):
+        return _estimate_idct(rac)
+    if isinstance(rac, FIRRac):
+        return _estimate_fir(rac)
+    if isinstance(rac, (PassthroughRac, ScaleRac)):
+        return _estimate_simple(rac)
+    return _estimate_generic(rac)
+
+
+# ---------------------------------------------------------------------------
+# whole-OCP report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OCPEstimate:
+    """Per-hierarchy estimates of one OCP ("Keep Hierarchy" view)."""
+
+    parts: Dict[str, ResourceEstimate] = field(default_factory=dict)
+
+    @property
+    def ocp_overhead(self) -> ResourceEstimate:
+        """Interface + controller + FIFO control: the paper's envelope.
+
+        This is the Section V-B quantity claimed to stay below
+        1000 LUT / 750 FF.
+        """
+        total = ZERO
+        for name, estimate in self.parts.items():
+            if name in ("interface", "controller") or name.startswith("fifo_ctrl"):
+                total = total + estimate
+        return total
+
+    @property
+    def fifo_memory(self) -> ResourceEstimate:
+        total = ZERO
+        for name, estimate in self.parts.items():
+            if name.startswith("fifo_mem"):
+                total = total + estimate
+        return total
+
+    @property
+    def rac(self) -> ResourceEstimate:
+        return self.parts.get("rac", ZERO)
+
+    @property
+    def total(self) -> ResourceEstimate:
+        total = ZERO
+        for estimate in self.parts.values():
+            total = total + estimate
+        return total
+
+    @property
+    def accelerator_alone(self) -> ResourceEstimate:
+        """What synthesizing the accelerator without the OCP reports."""
+        return self.rac
+
+
+def estimate_ocp(ocp: OuessantCoprocessor) -> OCPEstimate:
+    """Structural estimate of a built coprocessor, per hierarchy level."""
+    parts: Dict[str, ResourceEstimate] = {
+        "interface": estimate_interface(),
+        "controller": estimate_controller(
+            ibuf_size=ocp.controller.ibuf_size,
+            prefetch=ocp.controller.prefetch,
+        ),
+    }
+    for fifo in ocp.fifos_in + ocp.fifos_out:
+        parts[f"fifo_ctrl.{fifo.name}"] = estimate_fifo_control(fifo)
+        parts[f"fifo_mem.{fifo.name}"] = estimate_fifo_memory(fifo)
+    if ocp.rac is not None:
+        parts["rac"] = estimate_rac(ocp.rac)
+    return OCPEstimate(parts=parts)

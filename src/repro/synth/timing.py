@@ -1,0 +1,160 @@
+"""Static timing model: can the OCP close at 50 MHz?
+
+Section V-A: "System clock frequency has been set to 50 MHz for all
+configurations, and no timing errors were left according to Xilinx
+tools."  This module reproduces that check structurally: each OCP
+component declares its worst logic depth (levels of LUT logic between
+flip-flops), the device technology supplies per-level delays, and
+:func:`timing_report` verifies the achievable Fmax against a clock
+constraint.
+
+Like the area estimator, these are engineering estimates -- the
+reproduced claim is the *comparison* (every part comfortably clears
+50 MHz; the critical path is the interface's translation adder + bank
+mux, not the controller).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.coprocessor import OuessantCoprocessor
+from ..sim.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Per-device timing parameters (ns)."""
+
+    name: str
+    lut_delay: float        # one LUT6 level
+    net_delay: float        # average routing per level
+    clk_to_q: float
+    setup: float
+
+    def path_ns(self, levels: int) -> float:
+        if levels < 0:
+            raise ConfigurationError("negative logic depth")
+        return (self.clk_to_q + self.setup
+                + levels * (self.lut_delay + self.net_delay))
+
+    def fmax_mhz(self, levels: int) -> float:
+        return 1000.0 / self.path_ns(levels)
+
+
+#: 7-series (Artix-7, -1 speed grade) and Spartan-6 figures
+ARTIX7_TECH = Technology("artix7-1", lut_delay=0.45, net_delay=0.60,
+                         clk_to_q=0.45, setup=0.25)
+SPARTAN6_TECH = Technology("spartan6-2", lut_delay=0.60, net_delay=0.80,
+                           clk_to_q=0.50, setup=0.35)
+
+
+@dataclass(frozen=True)
+class PathEstimate:
+    """One component's critical path."""
+
+    component: str
+    levels: int
+    path_ns: float
+    fmax_mhz: float
+
+    def meets(self, clock_mhz: float) -> bool:
+        return self.fmax_mhz >= clock_mhz
+
+
+#: worst logic depth per OCP hierarchy level (LUT levels between FFs)
+_COMPONENT_DEPTHS: Dict[str, int] = {
+    # 32-bit translation adder (carry chain counts ~1 level per 8 bits)
+    # feeding the 8:1 bank mux: the documented critical path
+    "interface.translate": 6,
+    "interface.slave_fsm": 3,
+    "controller.decode": 4,
+    "controller.next_state": 4,
+    "controller.loop_ofr": 5,
+    "fifo.pointers": 3,
+    "fifo.serdes": 2,
+}
+
+
+def component_paths(technology: Technology = ARTIX7_TECH) -> List[PathEstimate]:
+    """Critical-path estimate of every OCP hierarchy level."""
+    return [
+        PathEstimate(
+            component=name,
+            levels=levels,
+            path_ns=round(technology.path_ns(levels), 3),
+            fmax_mhz=round(technology.fmax_mhz(levels), 1),
+        )
+        for name, levels in _COMPONENT_DEPTHS.items()
+    ]
+
+
+@dataclass
+class TimingReport:
+    """Whole-OCP timing closure summary."""
+
+    technology: str
+    clock_mhz: float
+    paths: List[PathEstimate]
+
+    @property
+    def critical(self) -> PathEstimate:
+        return min(self.paths, key=lambda p: p.fmax_mhz)
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.critical.fmax_mhz
+
+    @property
+    def closes(self) -> bool:
+        """True when "no timing errors were left"."""
+        return all(path.meets(self.clock_mhz) for path in self.paths)
+
+    @property
+    def slack_ns(self) -> float:
+        period = 1000.0 / self.clock_mhz
+        return round(period - self.critical.path_ns, 3)
+
+    def render(self) -> str:
+        lines = [
+            f"timing on {self.technology} at {self.clock_mhz:.0f} MHz "
+            f"(period {1000.0 / self.clock_mhz:.1f} ns)",
+            f"{'path':<26} {'levels':>6} {'ns':>7} {'Fmax':>8}",
+        ]
+        for path in sorted(self.paths, key=lambda p: -p.path_ns):
+            lines.append(
+                f"{path.component:<26} {path.levels:>6} "
+                f"{path.path_ns:>7.3f} {path.fmax_mhz:>7.1f}M"
+            )
+        verdict = "MET" if self.closes else "VIOLATED"
+        lines.append(
+            f"constraint {verdict}: worst slack {self.slack_ns} ns "
+            f"({self.critical.component})"
+        )
+        return "\n".join(lines)
+
+
+def timing_report(
+    ocp: OuessantCoprocessor,
+    clock_mhz: float = 50.0,
+    technology: Technology = ARTIX7_TECH,
+) -> TimingReport:
+    """Timing closure check for one OCP (RAC excluded -- user logic)."""
+    if clock_mhz <= 0:
+        raise ConfigurationError("clock must be positive")
+    paths = component_paths(technology)
+    if any(f.width_push != f.width_pop for f in ocp.fifos_in + ocp.fifos_out):
+        # width conversion adds a shift/select level to the serdes path
+        paths = [
+            PathEstimate(
+                component=p.component,
+                levels=p.levels + 1,
+                path_ns=round(technology.path_ns(p.levels + 1), 3),
+                fmax_mhz=round(technology.fmax_mhz(p.levels + 1), 1),
+            ) if p.component == "fifo.serdes" else p
+            for p in paths
+        ]
+    return TimingReport(
+        technology=technology.name, clock_mhz=clock_mhz, paths=paths
+    )

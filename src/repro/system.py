@@ -1,0 +1,159 @@
+"""SoC top-level builder.
+
+Assembles the platform the paper evaluates on: a CPU (Leon3 stand-in),
+SRAM main memory, a system bus (AMBA2 AHB by default) and one or more
+Ouessant coprocessors -- plus the interrupt controller tying OCP IRQ
+lines back to the CPU.
+
+The default memory map mirrors a typical Leon3/GRLIB layout:
+
+=============== ============ =======================
+``0x4000_0000``  RAM          16 MB SRAM (Nexys4)
+``0x8000_0000``  OCP #0       first coprocessor
+``0x8000_0040``  OCP #1 ...   further coprocessors
+``0x8001_0000``  DMA          optional DMA peripheral
+``0x8002_0000``  TIMER        free-running cycle counter
+=============== ============ =======================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .bus.bus import SystemBus
+from .bus.irq import IRQController
+from .bus.protocol import AHB, BusProtocol
+from .bus.types import BusSlave
+from .core.coprocessor import OuessantCoprocessor
+from .cpu.cpu import CPU
+from .cpu.isa import CostModel
+from .mem.dma import DMAEngine
+from .mem.memory import Memory
+from .rac.base import RAC
+from .sim.kernel import Simulator
+from .sim.tracing import Trace
+
+RAM_BASE = 0x4000_0000
+RAM_SIZE = 16 << 20
+OCP_BASE = 0x8000_0000
+DMA_BASE = 0x8001_0000
+TIMER_BASE = 0x8002_0000
+
+
+class CycleTimer(BusSlave):
+    """Free-running cycle counter readable over the bus.
+
+    Models the timer unit software uses for the paper's "time markers
+    in the software code".
+    """
+
+    access_latency = 0
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def read_word(self, offset: int) -> int:
+        return self._sim.cycle & 0xFFFFFFFF
+
+    def write_word(self, offset: int, value: int) -> None:
+        """Writes are ignored (the counter is free running)."""
+
+
+class SoC:
+    """A complete simulated system.
+
+    Parameters
+    ----------
+    racs:
+        Accelerators; one OCP is built per RAC.
+    protocol:
+        Bus protocol timing model (AHB, as in the paper, by default).
+    prefetch:
+        Microcode prefetch policy applied to every OCP controller.
+    with_dma / with_cpu:
+        Optional peripherals (baselines need the DMA engine; pure
+        OCP-driven runs can skip the CPU entirely).
+    """
+
+    def __init__(
+        self,
+        racs: Optional[List[RAC]] = None,
+        protocol: BusProtocol = AHB,
+        prefetch: bool = True,
+        with_cpu: bool = True,
+        with_dma: bool = False,
+        ram_size: int = RAM_SIZE,
+        cost_model: Optional[CostModel] = None,
+        trace: Optional[Trace] = None,
+        memory: Optional[Memory] = None,
+    ) -> None:
+        self.sim = Simulator(trace=trace)
+        self.bus = SystemBus("bus", protocol=protocol)
+        self.sim.add(self.bus)
+        # main memory is injectable (e.g. an SDRAM open-row model)
+        self.memory = memory or Memory("ram", ram_size, access_latency=1)
+        self.bus.attach_slave(
+            "ram", RAM_BASE, self.memory.size_bytes, self.memory
+        )
+        self.irqc = IRQController()
+        self.timer = CycleTimer(self.sim)
+        self.bus.attach_slave("timer", TIMER_BASE, 64, self.timer)
+
+        self.cpu: Optional[CPU] = None
+        if with_cpu:
+            self.cpu = CPU(
+                "cpu",
+                memory=self.memory,
+                memory_base=RAM_BASE,
+                bus=self.bus,
+                irq=self.irqc,
+                cost_model=cost_model,
+            )
+            self.sim.add(self.cpu)
+
+        self.dma: Optional[DMAEngine] = None
+        if with_dma:
+            self.dma = DMAEngine("dma", bus=self.bus)
+            self.bus.attach_slave("dma", DMA_BASE, 64, self.dma)
+            self.sim.add(self.dma)
+            self.irqc.register(self.dma.irq)
+
+        self._prefetch = prefetch
+        self.ocps: List[OuessantCoprocessor] = []
+        for index, rac in enumerate(racs or []):
+            self.add_ocp(rac, index)
+
+    # -- construction -----------------------------------------------------
+    def add_ocp(self, rac: RAC, index: Optional[int] = None, **kwargs) -> OuessantCoprocessor:
+        """Build an OCP around ``rac`` and map it on the bus."""
+        if index is None:
+            index = len(self.ocps)
+        name = f"ocp{index}" if index else "ocp"
+        kwargs.setdefault("prefetch", self._prefetch)
+        ocp = OuessantCoprocessor(rac, name=name, bus=self.bus, **kwargs)
+        base = OCP_BASE + index * OuessantCoprocessor.WINDOW_BYTES
+        ocp.attach(self.sim, self.bus, base)
+        self.irqc.register(ocp.irq)
+        self.ocps.append(ocp)
+        return ocp
+
+    @property
+    def ocp(self) -> OuessantCoprocessor:
+        """The first (usually only) coprocessor."""
+        if not self.ocps:
+            raise LookupError("this SoC has no OCP")
+        return self.ocps[0]
+
+    def ocp_base(self, index: int = 0) -> int:
+        return OCP_BASE + index * OuessantCoprocessor.WINDOW_BYTES
+
+    # -- memory helpers (backdoor, zero simulated time) ----------------------
+    def write_ram(self, address: int, words: List[int]) -> None:
+        self.memory.load_words(address - RAM_BASE, words)
+
+    def read_ram(self, address: int, count: int) -> List[int]:
+        return self.memory.dump_words(address - RAM_BASE, count)
+
+    # -- execution -----------------------------------------------------------
+    def run_until(self, predicate, max_cycles: int = 5_000_000, what: str = "condition") -> int:
+        return self.sim.run_until(predicate, max_cycles=max_cycles, what=what)

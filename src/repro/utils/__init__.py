@@ -1,0 +1,5 @@
+"""Shared helpers: bit manipulation and fixed-point arithmetic."""
+
+from . import bits, fixedpoint
+
+__all__ = ["bits", "fixedpoint"]

@@ -1,0 +1,112 @@
+"""Bit-twiddling helpers shared by the ISAs, buses and FIFOs.
+
+All hardware-ish values in the simulator are plain Python ints constrained
+to unsigned word ranges; these helpers centralize masking, field
+extraction and two's-complement conversions so each component does not
+reinvent them (subtly differently).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(bits: int) -> int:
+    """All-ones mask of the given width."""
+    if bits < 0:
+        raise ValueError(f"negative width {bits}")
+    return (1 << bits) - 1
+
+
+def to_unsigned(value: int, bits: int = WORD_BITS) -> int:
+    """Wrap a (possibly negative) int into an unsigned field."""
+    return value & mask(bits)
+
+
+def to_signed(value: int, bits: int = WORD_BITS) -> int:
+    """Interpret an unsigned field as two's complement."""
+    value &= mask(bits)
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int = WORD_BITS) -> int:
+    """Sign-extend ``value`` from ``from_bits`` to an unsigned ``to_bits``."""
+    return to_unsigned(to_signed(value, from_bits), to_bits)
+
+
+def get_field(word: int, hi: int, lo: int) -> int:
+    """Extract bits ``[hi:lo]`` (inclusive, hi >= lo) from ``word``."""
+    if hi < lo:
+        raise ValueError(f"invalid field [{hi}:{lo}]")
+    return (word >> lo) & mask(hi - lo + 1)
+
+
+def set_field(word: int, hi: int, lo: int, value: int) -> int:
+    """Return ``word`` with bits ``[hi:lo]`` replaced by ``value``.
+
+    Raises ``ValueError`` if ``value`` does not fit the field.
+    """
+    width = hi - lo + 1
+    if value < 0 or value > mask(width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    cleared = word & ~(mask(width) << lo)
+    return cleared | (value << lo)
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    return 0 <= value <= mask(bits)
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    half = 1 << (bits - 1)
+    return -half <= value < half
+
+
+def pack_halfwords(lo: int, hi: int) -> int:
+    """Pack two 16-bit fields into one 32-bit word (lo in bits 15:0)."""
+    return (to_unsigned(hi, 16) << 16) | to_unsigned(lo, 16)
+
+
+def unpack_halfwords(word: int) -> "tuple[int, int]":
+    """Inverse of :func:`pack_halfwords`; returns signed (lo, hi)."""
+    return to_signed(word & 0xFFFF, 16), to_signed((word >> 16) & 0xFFFF, 16)
+
+
+def words_from_bytes(data: bytes) -> List[int]:
+    """Little-endian byte string -> list of 32-bit words (zero padded)."""
+    padded = data + b"\x00" * (-len(data) % 4)
+    return [
+        int.from_bytes(padded[i : i + 4], "little")
+        for i in range(0, len(padded), 4)
+    ]
+
+
+def bytes_from_words(words: Iterable[int]) -> bytes:
+    """List of 32-bit words -> little-endian byte string."""
+    return b"".join(to_unsigned(w).to_bytes(4, "little") for w in words)
+
+
+def popcount(value: int) -> int:
+    return bin(value & WORD_MASK).count("1")
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """log2 of an exact power of two; raises ``ValueError`` otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError("alignment must be positive")
+    return ((value + alignment - 1) // alignment) * alignment

@@ -1,0 +1,92 @@
+"""Zynq-style (hardcore PS + FPGA PL) system model.
+
+Section VI: "Current work in progress includes complete Zynq (AXI4)
+integration."  Section II-B explains *why* this matters: Molen-style
+coupling "cannot be used in hardcore processors such as the Zynq
+system designed by Xilinx", while Ouessant — being an ordinary bus
+peripheral — ports cleanly.
+
+The model captures what actually changes on a Zynq:
+
+* the PL interconnect speaks **AXI4** (long bursts);
+* the hard ARM reaches PL registers through an **M_AXI_GP** port,
+  crossing the PS/PL bridge — each access pays a bridge latency on
+  top of the bus transaction (the famous "GP port round trip");
+* the OCP reaches DDR through an **S_AXI_HP** port — high throughput,
+  but a higher first-beat latency than on-chip SRAM.
+
+No instruction-set simulator runs here (the ARM is not the bottleneck
+and is out of scope); the driver timing comes from the register-access
+transactions, exactly like the Leon3 system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .bus.protocol import AXI4, BusProtocol
+from .core.coprocessor import OuessantCoprocessor
+from .rac.base import RAC
+from .sim.errors import ConfigurationError
+from .system import SoC
+
+#: extra PL-clock cycles for one PS->PL register access (GP port)
+DEFAULT_GP_BRIDGE_LATENCY = 12
+#: first-beat latency of DDR through the HP port, in PL cycles
+DEFAULT_HP_DDR_LATENCY = 6
+
+
+class ZynqSoC(SoC):
+    """A Zynq-7000-like platform hosting Ouessant coprocessors.
+
+    Parameters
+    ----------
+    racs:
+        Accelerators; one OCP per RAC, all in the PL.
+    gp_bridge_latency:
+        Added wait states on every CPU register access (PS->PL).
+    hp_ddr_latency:
+        First-beat latency of the DDR behind the HP port.
+    """
+
+    def __init__(
+        self,
+        racs: Optional[List[RAC]] = None,
+        gp_bridge_latency: int = DEFAULT_GP_BRIDGE_LATENCY,
+        hp_ddr_latency: int = DEFAULT_HP_DDR_LATENCY,
+        protocol: BusProtocol = AXI4,
+        **kwargs,
+    ) -> None:
+        if gp_bridge_latency < 0 or hp_ddr_latency < 0:
+            raise ConfigurationError("bridge latencies must be >= 0")
+        # hard processor: no ISS on the PL clock
+        kwargs.setdefault("with_cpu", False)
+        if "memory" not in kwargs:
+            # the PS DDR: open-row DRAM behind the HP port
+            from .mem.sdram import SDRAM
+            kwargs["memory"] = SDRAM(
+                "ddr", size_bytes=16 << 20,
+                cas_latency=hp_ddr_latency,
+                row_miss_penalty=max(1, 2 * hp_ddr_latency),
+            )
+        super().__init__(racs=None, protocol=protocol, **kwargs)
+        self.gp_bridge_latency = gp_bridge_latency
+        for rac in racs or []:
+            self.add_ocp(rac)
+
+    def add_ocp(self, rac: RAC, index: Optional[int] = None,
+                **kwargs) -> OuessantCoprocessor:
+        ocp = super().add_ocp(rac, index, **kwargs)
+        # PS->PL GP-port crossing: the register window answers late
+        ocp.interface.access_latency = self.gp_bridge_latency
+        return ocp
+
+
+def molen_portability_note() -> str:
+    """Why the Molen baseline has no Zynq equivalent (Section II-B)."""
+    return (
+        "Molen integrates between the processor pipeline and the bus; "
+        "on a Zynq the ARM cores are hard silicon, so that interface "
+        "is not accessible. Ouessant attaches as a regular AXI slave "
+        "plus master, which the PS/PL ports provide natively."
+    )

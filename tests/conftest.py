@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.rac.dft import DFTRac
+from repro.rac.idct import IDCTRac
+from repro.rac.scale import PassthroughRac, ScaleRac
+from repro.system import RAM_BASE, SoC
+from repro.utils import fixedpoint as fp
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def soc_passthrough() -> SoC:
+    """SoC with a 16-word loopback RAC (fast, deterministic)."""
+    return SoC(racs=[PassthroughRac(block_size=16)])
+
+
+@pytest.fixture
+def soc_scale() -> SoC:
+    return SoC(racs=[ScaleRac(block_size=16, factor=3, shift=1)])
+
+
+@pytest.fixture
+def soc_idct() -> SoC:
+    return SoC(racs=[IDCTRac()])
+
+
+@pytest.fixture
+def soc_dft64() -> SoC:
+    """Small DFT keeps integration tests quick."""
+    return SoC(racs=[DFTRac(n_points=64)])
+
+
+@pytest.fixture
+def q15_signal(rng):
+    def make(n: int):
+        re = [fp.float_to_q15(rng.uniform(-0.4, 0.4)) for _ in range(n)]
+        im = [fp.float_to_q15(rng.uniform(-0.4, 0.4)) for _ in range(n)]
+        return re, im
+
+    return make
+
+
+@pytest.fixture
+def coef_block(rng):
+    return [[rng.randint(-400, 400) for _ in range(8)] for _ in range(8)]
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration measurement"
+    )

@@ -1,0 +1,66 @@
+"""Tests for the experiment drivers (fast variants of the benchmarks)."""
+
+import pytest
+
+from repro.analysis import (
+    TableOneRow,
+    measure_dft_hw,
+    measure_idct_hw,
+    measure_idct_sw,
+    measure_transfer_efficiency,
+    render_table_one,
+    table_one,
+)
+
+
+def test_table_row_gain():
+    row = TableOneRow("X", lat=10, hw=100, sw=250)
+    assert row.gain == 2.5
+
+
+def test_idct_hw_measurement_correct_and_in_band():
+    result, correct = measure_idct_hw(environment="linux")
+    assert correct
+    # paper: 3000 cycles for IDCT under Linux
+    assert 2500 <= result.total_cycles <= 4500
+
+
+def test_idct_sw_measurement_in_band():
+    run = measure_idct_sw()
+    # paper: 5000 cycles
+    assert 4000 <= run.cycles <= 7000
+
+
+def test_dft_hw_baremetal_vs_linux_overhead():
+    bare, ok_b = measure_dft_hw(64, environment="baremetal")
+    lin, ok_l = measure_dft_hw(64, environment="linux")
+    assert ok_b and ok_l
+    overhead = lin.total_cycles - bare.total_cycles
+    # paper in-text: ~3000 cycles of Linux overhead
+    assert 2800 <= overhead <= 3200
+
+
+def test_transfer_efficiency_near_paper():
+    m = measure_transfer_efficiency(1024)
+    assert m.words == 1024
+    # paper in-text: ~1.5 cycles per word
+    assert 1.0 <= m.cycles_per_word <= 1.8
+
+
+def test_transfer_efficiency_validates_input():
+    with pytest.raises(ValueError):
+        measure_transfer_efficiency(33)
+
+
+@pytest.mark.slow
+def test_table_one_small_dft_shape():
+    """Scaled-down Table I (DFT-64 to keep the ISS run short)."""
+    rows = table_one(dft_points=64, environment="linux")
+    idct, dft = rows
+    assert idct.name == "IDCT" and dft.name == "DFT"
+    assert idct.lat == 18
+    # who-wins: hardware beats software on both rows
+    assert idct.gain > 1.0
+    assert dft.gain > 5.0
+    text = render_table_one(rows)
+    assert "Gain" in text and "IDCT" in text

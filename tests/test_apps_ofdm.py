@@ -1,0 +1,114 @@
+"""Tests for the OFDM receiver application."""
+
+import random
+
+import pytest
+
+from repro.apps.ofdm import (
+    OFDMParams,
+    OFDMReceiver,
+    awgn,
+    bit_error_rate,
+    modulate,
+    qpsk_demap,
+    qpsk_map,
+)
+from repro.rac.dft import DFTRac
+from repro.sim.errors import ConfigurationError
+from repro.sw.library import OuessantLibrary
+from repro.system import SoC
+
+PARAMS = OFDMParams(n_fft=64, cp_len=16, used=48)
+
+
+def random_bits(count, seed=5):
+    rng = random.Random(seed)
+    return [rng.randint(0, 1) for _ in range(count)]
+
+
+def test_qpsk_map_demap_roundtrip():
+    bits = random_bits(64)
+    assert qpsk_demap(qpsk_map(bits)) == bits
+
+
+def test_qpsk_map_validates():
+    with pytest.raises(ConfigurationError):
+        qpsk_map([0, 1, 0])
+
+
+def test_params_validation():
+    with pytest.raises(ConfigurationError):
+        OFDMParams(n_fft=64, used=64)
+    with pytest.raises(ConfigurationError):
+        OFDMParams(n_fft=64, used=47)
+    with pytest.raises(ConfigurationError):
+        OFDMParams(n_fft=64, cp_len=64)
+
+
+def test_carrier_indices_avoid_dc():
+    indices = PARAMS.carrier_indices
+    assert 0 not in indices
+    assert len(indices) == PARAMS.used
+    assert len(set(indices)) == PARAMS.used
+
+
+def test_clean_channel_zero_ber_golden():
+    bits = random_bits(3 * PARAMS.bits_per_symbol)
+    re, im = modulate(bits, PARAMS)
+    receiver = OFDMReceiver(PARAMS, backend="golden")
+    received = receiver.demodulate(re, im)
+    assert bit_error_rate(bits, received) == 0.0
+    assert receiver.symbols_processed == 3
+
+
+def test_moderate_noise_still_decodes():
+    bits = random_bits(2 * PARAMS.bits_per_symbol)
+    re, im = modulate(bits, PARAMS)
+    re, im = awgn(re, im, noise_rms=0.01, seed=1)
+    receiver = OFDMReceiver(PARAMS, backend="golden")
+    assert bit_error_rate(bits, receiver.demodulate(re, im)) == 0.0
+
+
+def test_heavy_noise_causes_errors():
+    bits = random_bits(4 * PARAMS.bits_per_symbol)
+    re, im = modulate(bits, PARAMS)
+    re, im = awgn(re, im, noise_rms=0.4, seed=2)
+    receiver = OFDMReceiver(PARAMS, backend="golden")
+    assert bit_error_rate(bits, receiver.demodulate(re, im)) > 0.005
+
+
+def test_ocp_backend_matches_golden():
+    bits = random_bits(2 * PARAMS.bits_per_symbol)
+    re, im = modulate(bits, PARAMS)
+    soc = SoC(racs=[DFTRac(n_points=PARAMS.n_fft)])
+    library = OuessantLibrary(soc, environment="baremetal")
+    hw = OFDMReceiver(PARAMS, backend="ocp", library=library)
+    golden = OFDMReceiver(PARAMS, backend="golden")
+    assert hw.demodulate(re, im) == golden.demodulate(re, im)
+    assert hw.cycles > 0
+
+
+def test_sw_backend_matches_golden():
+    bits = random_bits(PARAMS.bits_per_symbol)
+    re, im = modulate(bits, PARAMS)
+    sw = OFDMReceiver(PARAMS, backend="sw")
+    golden = OFDMReceiver(PARAMS, backend="golden")
+    assert sw.demodulate(re, im) == golden.demodulate(re, im)
+    assert sw.cycles > 0
+
+
+def test_receiver_validation():
+    with pytest.raises(ConfigurationError):
+        OFDMReceiver(PARAMS, backend="analog")
+    with pytest.raises(ConfigurationError):
+        OFDMReceiver(PARAMS, backend="ocp")
+    receiver = OFDMReceiver(PARAMS)
+    with pytest.raises(ConfigurationError):
+        receiver.demodulate([0] * 79, [0] * 79)
+    with pytest.raises(ConfigurationError):
+        bit_error_rate([0], [0, 1])
+
+
+def test_modulate_validates_bit_count():
+    with pytest.raises(ConfigurationError):
+        modulate([0] * 7, PARAMS)

@@ -1,0 +1,112 @@
+"""Tests for the spectral-analysis application layer."""
+
+import pytest
+
+from repro.apps.spectrum import (
+    Peak,
+    SpectrumAnalyzer,
+    Tone,
+    apply_window,
+    find_peaks,
+    hann_window,
+    magnitude,
+    synthesize,
+)
+from repro.rac.dft import DFTRac
+from repro.sim.errors import ConfigurationError
+from repro.sw.library import OuessantLibrary
+from repro.system import SoC
+from repro.utils import fixedpoint as fp
+
+FS = 8000.0
+
+
+def test_synthesize_amplitude_and_length():
+    re, im = synthesize([Tone(1000.0, 0.5)], 64, FS)
+    assert len(re) == len(im) == 64
+    peak = max(abs(v) for v in re)
+    assert abs(peak - fp.float_to_q15(0.5)) < 2000
+    assert all(v == 0 for v in im)
+
+
+def test_hann_window_shape():
+    window = hann_window(64)
+    assert window[0] == 0
+    assert window[-1] == 0
+    assert abs(window[32] - fp.Q15_MAX) < 700  # ~1.0 at the centre
+
+
+def test_apply_window_validates_lengths():
+    with pytest.raises(ConfigurationError):
+        apply_window([0] * 8, [0] * 8, [0] * 4)
+
+
+def test_find_peaks_detects_tones():
+    # bin-aligned tone: 1000 Hz at N=64, fs=8000 -> bin 8
+    re, im = synthesize([Tone(1000.0, 0.4)], 64, FS)
+    mags = magnitude(*fp.fft_q15(re, im))
+    peaks = find_peaks(mags, FS)
+    assert any(p.bin == 8 for p in peaks)
+
+
+def test_analyzer_golden_backend_two_tones():
+    analyzer = SpectrumAnalyzer(256, FS, backend="golden")
+    re, im = synthesize(
+        [Tone(1000.0, 0.3), Tone(2500.0, 0.2)], 256, FS, noise_rms=0.01
+    )
+    peaks = analyzer.analyze(re, im)
+    freqs = [p.frequency for p in peaks if p.magnitude > 0.02]
+    assert any(abs(f - 1000.0) < FS / 256 for f in freqs)
+    assert any(abs(f - 2500.0) < FS / 256 for f in freqs)
+
+
+def test_analyzer_ocp_backend_matches_golden():
+    n = 64
+    soc = SoC(racs=[DFTRac(n_points=n)])
+    library = OuessantLibrary(soc, environment="baremetal")
+    ocp = SpectrumAnalyzer(n, FS, backend="ocp", library=library)
+    golden = SpectrumAnalyzer(n, FS, backend="golden")
+    re, im = synthesize([Tone(1000.0, 0.4)], n, FS)
+    assert ocp.analyze(re, im) == golden.analyze(re, im)
+    assert ocp.cycles > 0
+
+
+def test_analyzer_sw_backends_agree_on_peaks():
+    n = 32
+    re, im = synthesize([Tone(1000.0, 0.4)], n, FS)
+    fft = SpectrumAnalyzer(n, FS, backend="sw-fft")
+    dft = SpectrumAnalyzer(n, FS, backend="sw-dft")
+    peaks_fft = fft.analyze(re, im)
+    peaks_dft = dft.analyze(re, im)
+    assert [p.bin for p in peaks_fft] == [p.bin for p in peaks_dft]
+    assert dft.cycles > fft.cycles  # O(N^2) vs O(N log N)
+
+
+def test_windowing_reduces_leakage():
+    n = 128
+    # deliberately off-bin tone -> spectral leakage
+    tone = Tone(1000.0 + FS / n / 2, 0.4)
+    re, im = synthesize([tone], n, FS)
+    plain = SpectrumAnalyzer(n, FS, backend="golden", window=False)
+    windowed = SpectrumAnalyzer(n, FS, backend="golden", window=True)
+    mags_plain = magnitude(*fp.fft_q15(re, im))
+    wre, wim = apply_window(re, im, hann_window(n))
+    mags_win = magnitude(*fp.fft_q15(wre, wim))
+    # energy far from the tone (leakage floor) is lower with the window
+    far_bins = range(40, 60)
+    assert sum(mags_win[k] for k in far_bins) < sum(
+        mags_plain[k] for k in far_bins
+    )
+    # and the analyzers still find the tone either way
+    assert plain.analyze(re, im)
+    assert windowed.analyze(re, im)
+
+
+def test_analyzer_validation():
+    with pytest.raises(ConfigurationError):
+        SpectrumAnalyzer(64, FS, backend="quantum")
+    with pytest.raises(ConfigurationError):
+        SpectrumAnalyzer(64, FS, backend="ocp")  # no library
+    analyzer = SpectrumAnalyzer(64, FS)
+    with pytest.raises(ConfigurationError):
+        analyzer.analyze([0] * 32, [0] * 32)

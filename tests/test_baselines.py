@@ -1,0 +1,195 @@
+"""Tests for the Section II baseline integration styles."""
+
+import pytest
+
+from repro.baselines.dma_slave import (
+    BurstSlaveAccelerator,
+    DMAHarness,
+    IN_WINDOW,
+    OUT_WINDOW,
+    SLAVE_WINDOW_BYTES,
+)
+from repro.baselines.molen import molen_run_estimate
+from repro.baselines.pio_slave import (
+    CTRL_DONE,
+    CTRL_START,
+    PIOHarness,
+    REG_CTRL,
+    REG_DATA_IN,
+    REG_DATA_OUT,
+    SlaveAccelerator,
+)
+from repro.bus.bus import SystemBus
+from repro.core.program import OuProgram
+from repro.mem.dma import DMAEngine
+from repro.mem.memory import Memory
+from repro.sim.errors import DriverError
+from repro.sim.kernel import Simulator
+from repro.sw.baremetal import BaremetalRuntime
+from repro.rac.scale import PassthroughRac
+from repro.system import RAM_BASE, SoC
+
+ACCEL_BASE = 0x9000_0000
+DMA_BASE = 0x9100_0000
+
+
+def make_pio_system(items=16, latency=10):
+    sim = Simulator()
+    bus = SystemBus()
+    sim.add(bus)
+    mem = Memory("ram", 1 << 16, access_latency=1)
+    bus.attach_slave("ram", 0x0, 1 << 16, mem)
+    accel = SlaveAccelerator(
+        "accel", compute_fn=lambda ws: [w ^ 0xFF for w in ws],
+        items_in=items, items_out=items, compute_latency=latency,
+    )
+    bus.attach_slave("accel", ACCEL_BASE, 64, accel)
+    sim.add(accel)
+    return sim, bus, accel
+
+
+def test_pio_slave_roundtrip():
+    sim, bus, accel = make_pio_system()
+    harness = PIOHarness(sim, bus, ACCEL_BASE)
+    inputs = list(range(16))
+    outputs, cycles = harness.run(inputs, 16)
+    assert outputs == [v ^ 0xFF for v in inputs]
+    assert cycles > 0
+
+
+def test_pio_start_without_data_faults():
+    sim, bus, accel = make_pio_system(items=4)
+    accel.write_word(REG_DATA_IN, 1)
+    with pytest.raises(DriverError):
+        accel.write_word(REG_CTRL, CTRL_START)
+
+
+def test_pio_cost_scales_per_word():
+    sim, bus, accel = make_pio_system(items=8)
+    harness = PIOHarness(sim, bus, ACCEL_BASE)
+    _, small = harness.run(list(range(8)), 8)
+    sim2, bus2, accel2 = make_pio_system(items=32)
+    harness2 = PIOHarness(sim2, bus2, ACCEL_BASE)
+    _, big = harness2.run(list(range(32)), 32)
+    # 4x the words => roughly 4x the transfer cost
+    assert big > 2.5 * small
+
+
+def test_pio_much_slower_than_ouessant_per_word():
+    # Ouessant moves data at ~1.5 cycles/word; PIO pays a full bus
+    # transaction (and CPU attention) per word.
+    sim, bus, accel = make_pio_system(items=64, latency=1)
+    harness = PIOHarness(sim, bus, ACCEL_BASE)
+    _, cycles = harness.run(list(range(64)), 64)
+    cycles_per_word = cycles / 128
+    assert cycles_per_word > 3.0
+
+
+def test_slave_accelerator_register_semantics():
+    sim, bus, accel = make_pio_system(items=2, latency=3)
+    accel.write_word(REG_DATA_IN, 5)
+    accel.write_word(REG_DATA_IN, 6)
+    accel.write_word(REG_CTRL, CTRL_START)
+    sim.step(10)
+    assert accel.read_word(REG_CTRL) & CTRL_DONE
+    assert accel.read_word(REG_DATA_OUT) == 5 ^ 0xFF
+    assert accel.read_word(REG_DATA_OUT) == 6 ^ 0xFF
+    assert accel.read_word(REG_DATA_OUT) == 0  # drained
+    accel.write_word(REG_CTRL, 0)
+    assert accel.read_word(REG_CTRL) == 0
+
+
+def test_dma_slave_roundtrip():
+    sim = Simulator()
+    bus = SystemBus()
+    sim.add(bus)
+    mem = Memory("ram", 1 << 16, access_latency=1)
+    bus.attach_slave("ram", 0x0, 1 << 16, mem)
+    accel = BurstSlaveAccelerator(
+        "accel", compute_fn=lambda ws: [(w + 1) & 0xFFFFFFFF for w in ws],
+        items_in=32, items_out=32, compute_latency=20,
+    )
+    bus.attach_slave("accel", ACCEL_BASE, SLAVE_WINDOW_BYTES, accel)
+    sim.add(accel)
+    dma = DMAEngine("dma", bus=bus, buffer_words=16)
+    bus.attach_slave("dma", DMA_BASE, 64, dma)
+    sim.add(dma)
+
+    mem.load_words(0x100, list(range(32)))
+    harness = DMAHarness(sim, bus, dma, DMA_BASE, ACCEL_BASE)
+    cycles = harness.run(0x100, 0x800, 32, 32)
+    assert mem.dump_words(0x800, 32) == [v + 1 for v in range(32)]
+    assert cycles > 0
+
+
+def test_integration_style_ordering():
+    """PIO > DMA-peripheral > Ouessant in per-operation cycles."""
+    words = 64
+
+    # PIO
+    sim, bus, accel = make_pio_system(items=words, latency=30)
+    _, pio_cycles = PIOHarness(sim, bus, ACCEL_BASE).run(
+        list(range(words)), words)
+
+    # DMA peripheral
+    sim = Simulator()
+    bus = SystemBus()
+    sim.add(bus)
+    mem = Memory("ram", 1 << 16, access_latency=1)
+    bus.attach_slave("ram", 0x0, 1 << 16, mem)
+    accel = BurstSlaveAccelerator(
+        "accel", compute_fn=lambda ws: list(ws),
+        items_in=words, items_out=words, compute_latency=30,
+    )
+    bus.attach_slave("accel", ACCEL_BASE, SLAVE_WINDOW_BYTES, accel)
+    sim.add(accel)
+    dma = DMAEngine("dma", bus=bus, buffer_words=16)
+    bus.attach_slave("dma", DMA_BASE, 64, dma)
+    sim.add(dma)
+    mem.load_words(0x100, list(range(words)))
+    dma_cycles = DMAHarness(sim, bus, dma, DMA_BASE, ACCEL_BASE).run(
+        0x100, 0x800, words, words)
+
+    # Ouessant
+    soc = SoC(racs=[PassthroughRac(block_size=words, compute_latency=30)])
+    runtime = BaremetalRuntime(soc)
+    soc.write_ram(RAM_BASE + 0x2000, list(range(words)))
+    program = (OuProgram().stream_to(1, words).execs()
+               .stream_from(2, words).eop())
+    result = runtime.run(program.words(), {
+        0: RAM_BASE + 0x1000, 1: RAM_BASE + 0x2000, 2: RAM_BASE + 0x3000,
+    })
+    ouessant_cycles = result.total_cycles
+
+    assert pio_cycles > dma_cycles > ouessant_cycles
+
+
+def test_molen_estimate_structure():
+    estimate = molen_run_estimate(512, 512, 2485)
+    assert estimate.transfer_cycles == 1024
+    assert estimate.total_cycles == 1024 + 2485 + estimate.start_overhead
+    assert estimate.cpu_blocked_cycles == estimate.total_cycles
+    assert estimate.one_accelerator_per_core
+    assert not estimate.hardcore_compatible
+    assert "Zynq" in estimate.constraints
+
+
+def test_molen_fast_but_blocking_tradeoff():
+    # Molen has lower latency than Ouessant but blocks the CPU.
+    molen = molen_run_estimate(1024, 1024, 2485)
+    soc = SoC(racs=[PassthroughRac(block_size=1024, fifo_depth=128,
+                                   compute_latency=2485)])
+    runtime = BaremetalRuntime(soc)
+    soc.write_ram(RAM_BASE + 0x2000, list(range(1024)))
+    program = (OuProgram().stream_to(1, 1024, chunk=64).execs()
+               .stream_from(2, 1024, chunk=64).eop())
+    result = runtime.run(program.words(), {
+        0: RAM_BASE + 0x1000, 1: RAM_BASE + 0x2000, 2: RAM_BASE + 0x8000,
+    })
+    assert molen.total_cycles < result.total_cycles      # Molen is faster...
+    assert molen.cpu_blocked_cycles > result.config_cycles  # ...but blocks CPU
+
+
+def test_molen_estimate_validation():
+    with pytest.raises(ValueError):
+        molen_run_estimate(-1, 0, 0)

@@ -1,0 +1,102 @@
+"""Property-based and unit tests for the bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import bits
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40), st.integers(1, 64))
+def test_unsigned_signed_roundtrip(value, width):
+    wrapped = bits.to_unsigned(value, width)
+    assert 0 <= wrapped < (1 << width)
+    assert bits.to_unsigned(bits.to_signed(wrapped, width), width) == wrapped
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 31), st.integers(0, 31))
+def test_get_field_matches_shift_mask(word, a, b):
+    hi, lo = max(a, b), min(a, b)
+    assert bits.get_field(word, hi, lo) == (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 28), st.integers(0, 15))
+def test_set_then_get_field(word, lo, value):
+    hi = lo + 3
+    updated = bits.set_field(word, hi, lo, value)
+    assert bits.get_field(updated, hi, lo) == value
+    # other bits untouched
+    mask = ~(0xF << lo) & 0xFFFFFFFF
+    assert updated & mask == word & mask
+
+
+def test_set_field_rejects_oversized_value():
+    with pytest.raises(ValueError):
+        bits.set_field(0, 3, 0, 16)
+
+
+def test_get_field_rejects_inverted_range():
+    with pytest.raises(ValueError):
+        bits.get_field(0, 0, 5)
+
+
+@given(st.integers(-32768, 32767), st.integers(-32768, 32767))
+def test_halfword_pack_roundtrip(lo, hi):
+    assert bits.unpack_halfwords(bits.pack_halfwords(lo, hi)) == (lo, hi)
+
+
+@given(st.binary(max_size=64))
+def test_words_bytes_roundtrip(data):
+    words = bits.words_from_bytes(data)
+    out = bits.bytes_from_words(words)
+    assert out[: len(data)] == data
+    assert all(b == 0 for b in out[len(data):])
+
+
+@given(st.integers(-(2**31), 2**31 - 1), st.integers(1, 31))
+def test_sign_extend_preserves_value(value, from_bits):
+    small = bits.to_unsigned(value, from_bits)
+    extended = bits.sign_extend(small, from_bits)
+    assert bits.to_signed(extended, 32) == bits.to_signed(small, from_bits)
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_popcount_matches_bin(value):
+    assert bits.popcount(value) == bin(value).count("1")
+
+
+@given(st.integers(0, 30))
+def test_power_of_two_detection(exponent):
+    value = 1 << exponent
+    assert bits.is_power_of_two(value)
+    assert bits.log2_exact(value) == exponent
+    if value > 2:
+        assert not bits.is_power_of_two(value + 1)
+
+
+def test_log2_exact_rejects_non_powers():
+    with pytest.raises(ValueError):
+        bits.log2_exact(12)
+    assert not bits.is_power_of_two(0)
+    assert not bits.is_power_of_two(-4)
+
+
+@given(st.integers(0, 10_000), st.integers(1, 512))
+def test_align_up_properties(value, alignment):
+    aligned = bits.align_up(value, alignment)
+    assert aligned >= value
+    assert aligned % alignment == 0
+    assert aligned - value < alignment
+
+
+def test_align_up_rejects_bad_alignment():
+    with pytest.raises(ValueError):
+        bits.align_up(4, 0)
+
+
+def test_fits_helpers():
+    assert bits.fits_unsigned(255, 8)
+    assert not bits.fits_unsigned(256, 8)
+    assert bits.fits_signed(-128, 8)
+    assert not bits.fits_signed(128, 8)
+    assert not bits.fits_signed(-129, 8)

@@ -1,0 +1,95 @@
+"""Tests for the address map."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus.memmap import MemoryMap, Region
+from repro.bus.types import BusSlave
+from repro.sim.errors import AddressError, ConfigurationError
+
+
+class Dummy(BusSlave):
+    def read_word(self, offset):
+        return 0
+
+    def write_word(self, offset, value):
+        pass
+
+
+def test_add_and_lookup():
+    memmap = MemoryMap()
+    memmap.add("ram", 0x1000, 0x100, Dummy())
+    region, offset = memmap.lookup(0x1040)
+    assert region.name == "ram"
+    assert offset == 0x40
+
+
+def test_unmapped_address_raises():
+    memmap = MemoryMap()
+    memmap.add("ram", 0x1000, 0x100, Dummy())
+    with pytest.raises(AddressError):
+        memmap.lookup(0x2000)
+    assert memmap.find(0x2000) is None
+
+
+def test_span_crossing_region_end_raises():
+    memmap = MemoryMap()
+    memmap.add("ram", 0x1000, 0x100, Dummy())
+    with pytest.raises(AddressError):
+        memmap.lookup(0x10F8, span_bytes=16)
+    # exactly to the end is fine
+    memmap.lookup(0x10F0, span_bytes=16)
+
+
+def test_overlap_rejected():
+    memmap = MemoryMap()
+    memmap.add("a", 0x1000, 0x100, Dummy())
+    with pytest.raises(ConfigurationError):
+        memmap.add("b", 0x10F0, 0x100, Dummy())
+    # adjacent is fine
+    memmap.add("c", 0x1100, 0x100, Dummy())
+
+
+def test_alignment_and_size_validation():
+    memmap = MemoryMap()
+    with pytest.raises(ConfigurationError):
+        memmap.add("x", 0x1002, 0x100, Dummy())
+    with pytest.raises(ConfigurationError):
+        memmap.add("x", 0x1000, 0x102, Dummy())
+    with pytest.raises(ConfigurationError):
+        memmap.add("x", 0x1000, 0, Dummy())
+
+
+def test_regions_sorted_and_rendered():
+    memmap = MemoryMap()
+    memmap.add("hi", 0x8000, 0x100, Dummy())
+    memmap.add("lo", 0x1000, 0x100, Dummy())
+    assert [r.name for r in memmap.regions] == ["lo", "hi"]
+    rendering = memmap.render()
+    assert "lo" in rendering and "hi" in rendering
+
+
+@given(st.integers(0, 0xFF))
+def test_region_contains_matches_range(offset):
+    region = Region("r", 0x1000, 0x100, Dummy())
+    address = 0x1000 + offset
+    assert region.contains(address)
+    assert not region.contains(0x1000 + 0x100)
+    assert not region.contains(0xFFF)
+
+
+@given(
+    st.integers(0, 64).map(lambda v: v * 4),
+    st.integers(1, 16).map(lambda v: v * 4),
+    st.integers(0, 64).map(lambda v: v * 4),
+    st.integers(1, 16).map(lambda v: v * 4),
+)
+def test_overlap_symmetry(base_a, size_a, base_b, size_b):
+    a = Region("a", base_a, size_a, Dummy())
+    b = Region("b", base_b, size_b, Dummy())
+    assert a.overlaps(b) == b.overlaps(a)
+    # overlap iff some word is in both
+    words_a = set(range(base_a, base_a + size_a, 4))
+    words_b = set(range(base_b, base_b + size_b, 4))
+    assert a.overlaps(b) == bool(words_a & words_b)

@@ -1,0 +1,91 @@
+"""Tests for the snooping cache model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.cache import Cache
+from repro.sim.errors import ConfigurationError
+
+
+def test_cold_miss_then_hit():
+    cache = Cache(size_bytes=1024, line_bytes=32, hit_cycles=1, miss_penalty=8)
+    assert cache.access_read(0x100) == 9
+    assert cache.access_read(0x100) == 1
+    assert cache.access_read(0x104) == 1  # same line
+    assert cache.stats["read_misses"] == 1
+    assert cache.stats["read_hits"] == 2
+
+
+def test_conflict_eviction_direct_mapped():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    cache.access_read(0x0)
+    cache.access_read(0x400)  # same index, different tag -> evicts
+    assert cache.access_read(0x0) > cache.hit_cycles  # miss again
+
+
+def test_write_through_no_allocate():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    cache.access_write(0x200)
+    assert cache.stats["write_misses"] == 1
+    # the write did not install the line
+    assert not cache.holds(0x200)
+
+
+def test_snoop_invalidates_held_line():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    cache.access_read(0x300)
+    assert cache.holds(0x300)
+    assert cache.snoop_write(0x300)
+    assert not cache.holds(0x300)
+    assert cache.stats["snoop_invalidations"] == 1
+
+
+def test_snoop_miss_is_harmless():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    assert not cache.snoop_write(0x300)
+
+
+def test_snoop_burst_counts_lines():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    for address in (0x0, 0x20, 0x40):
+        cache.access_read(address)
+    invalidated = cache.snoop_write_burst(0x0, 24)  # 96 bytes = 3 lines
+    assert invalidated >= 3  # one hit per word within held lines
+
+
+def test_flush_invalidates_all():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    cache.access_read(0x0)
+    cache.access_read(0x40)
+    cache.flush()
+    assert not cache.holds(0x0)
+    assert not cache.holds(0x40)
+    assert cache.stats["flushes"] == 1
+
+
+def test_hit_rate():
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    assert cache.hit_rate == 0.0
+    cache.access_read(0x0)
+    cache.access_read(0x0)
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ConfigurationError):
+        Cache(size_bytes=1000)
+    with pytest.raises(ConfigurationError):
+        Cache(size_bytes=1024, line_bytes=3)
+    with pytest.raises(ConfigurationError):
+        Cache(size_bytes=32, line_bytes=64)
+
+
+@given(st.lists(st.integers(0, 0x3FFF).map(lambda a: a * 4), min_size=1, max_size=64))
+def test_snoop_after_read_always_invalidates(addresses):
+    cache = Cache(size_bytes=2048, line_bytes=32)
+    for address in addresses:
+        cache.access_read(address)
+        assert cache.holds(address)
+        assert cache.snoop_write(address)
+        assert not cache.holds(address)

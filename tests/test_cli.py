@@ -1,0 +1,153 @@
+"""Tests for the command-line toolbox."""
+
+import pytest
+
+from repro.cli import _make_rac, build_parser, main
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.matmul import MatMulRac
+from repro.sim.errors import ReproError
+
+FIGURE4 = """\
+mvtc BANK1,0,DMA64,FIFO0
+execs
+mvfc BANK2,0,DMA64,FIFO0
+eop
+"""
+
+
+@pytest.fixture
+def microcode_file(tmp_path):
+    path = tmp_path / "prog.ouasm"
+    path.write_text(FIGURE4)
+    return str(path)
+
+
+def test_assemble_outputs_hex(microcode_file, capsys):
+    assert main(["assemble", microcode_file]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 4
+    assert all(len(line) == 8 for line in out)
+
+
+def test_assemble_disasm_roundtrip(microcode_file, tmp_path, capsys):
+    main(["assemble", microcode_file])
+    hexwords = capsys.readouterr().out
+    hexfile = tmp_path / "prog.hex"
+    hexfile.write_text(hexwords)
+    assert main(["disasm", str(hexfile)]) == 0
+    text = capsys.readouterr().out
+    assert "mvtc BANK1,0,DMA64,FIFO0" in text
+    assert "eop" in text
+
+
+def test_lint_clean_program(microcode_file, capsys):
+    # the fixture moves 64 words each way = one 32-point DFT (2 words
+    # per complex sample)
+    code = main(["lint", microcode_file, "--rac", "dft:32",
+                 "--banks", "1", "2"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_reports_errors(tmp_path, capsys):
+    bad = tmp_path / "bad.ouasm"
+    bad.write_text("mvtc BANK1,0,DMA64,FIFO5\n")  # no eop, bad fifo
+    code = main(["lint", str(bad), "--rac", "idct"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "error" in out
+
+
+def test_lint_accepts_hex_input(tmp_path, capsys):
+    hexfile = tmp_path / "prog.hex"
+    # eop only
+    hexfile.write_text("00000000\n")
+    assert main(["lint", str(hexfile)]) == 0
+
+
+def test_estimate_report(capsys):
+    assert main(["estimate", "--rac", "idct"]) == 0
+    out = capsys.readouterr().out
+    assert "interface" in out
+    assert "OCP overhead" in out
+
+
+def test_transfer_command(capsys):
+    assert main(["transfer", "--words", "256"]) == 0
+    assert "cycles/word" in capsys.readouterr().out
+
+
+def test_table1_small(capsys):
+    assert main(["table1", "--dft-points", "16", "--env",
+                 "baremetal"]) == 0
+    out = capsys.readouterr().out
+    assert "IDCT" in out and "DFT" in out
+
+
+def test_unknown_rac_is_exit_2(microcode_file, capsys):
+    assert main(["lint", microcode_file, "--rac", "quantum"]) == 2
+    assert "unknown RAC" in capsys.readouterr().err
+
+
+def test_missing_file_is_exit_2(capsys):
+    assert main(["assemble", "/nonexistent/prog.ouasm"]) == 2
+
+
+def test_compress_command(tmp_path, capsys):
+    source = tmp_path / "unrolled.ouasm"
+    lines = [f"mvtc BANK1,{64 * k},DMA64,FIFO0" for k in range(8)]
+    lines += ["execs"]
+    lines += [f"mvfc BANK2,{64 * k},DMA64,FIFO0" for k in range(8)]
+    lines += ["eop"]
+    source.write_text("\n".join(lines))
+    assert main(["compress", str(source)]) == 0
+    captured = capsys.readouterr()
+    assert "loop 8" in captured.out
+    assert "18 -> 12 instructions" in captured.err
+
+
+def test_compress_expand_inverse(tmp_path, capsys):
+    source = tmp_path / "looped.ouasm"
+    source.write_text(
+        "clrofr\nloop 4\nmvtcx BANK1,0,DMA16,FIFO0\naddofr 16\nendl\n"
+        "execs\nmvfc BANK2,0,DMA64,FIFO0\neop\n"
+    )
+    assert main(["compress", str(source), "--expand"]) == 0
+    out = capsys.readouterr().out
+    assert "mvtc BANK1,48,DMA16,FIFO0" in out
+    assert "loop" not in out
+
+
+def test_pack_info_roundtrip(microcode_file, tmp_path, capsys):
+    image = tmp_path / "prog.oufw"
+    assert main(["pack", microcode_file, str(image)]) == 0
+    assert image.exists()
+    assert main(["info", str(image)]) == 0
+    out = capsys.readouterr().out
+    assert "4 instructions" in out
+    assert "banks referenced: [0, 1, 2]" in out
+    assert "mvtc BANK1,0,DMA64,FIFO0" in out
+
+
+def test_timing_command(capsys):
+    assert main(["timing", "--rac", "idct", "--clock", "50"]) == 0
+    assert "MET" in capsys.readouterr().out
+    assert main(["timing", "--rac", "idct", "--clock", "400"]) == 1
+
+
+def test_make_rac_specs():
+    assert isinstance(_make_rac("dft:64"), DFTRac)
+    assert _make_rac("dft:64").n_points == 64
+    fir = _make_rac("fir:64,8")
+    assert isinstance(fir, FIRRac)
+    assert (fir.block_size, fir.n_taps) == (64, 8)
+    assert isinstance(_make_rac("matmul:4"), MatMulRac)
+    with pytest.raises(ReproError):
+        _make_rac("tpu")
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

@@ -1,0 +1,166 @@
+"""Tests for the microcode assembler / disassembler / program builder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.assembler import assemble_microcode, disassemble
+from repro.core.encoding import decode, encode
+from repro.core.isa import FIFODirection, OuInstruction, OuOp
+from repro.core.program import (
+    OuProgram,
+    figure4_looped_program,
+    figure4_program,
+    idct_program,
+)
+from repro.sim.errors import AssemblerError, ConfigurationError
+
+FIGURE4_TEXT = """\
+# 64 words from offset 0 of bank 1
+# to coprocessor FIFO 0
+mvtc BANK1,0,DMA64,FIFO0
+mvtc BANK1,64,DMA64,FIFO0
+mvtc BANK1,128,DMA64,FIFO0
+mvtc BANK1,192,DMA64,FIFO0
+mvtc BANK1,256,DMA64,FIFO0
+mvtc BANK1,320,DMA64,FIFO0
+mvtc BANK1,384,DMA64,FIFO0
+mvtc BANK1,448,DMA64,FIFO0
+execs
+mvfc BANK2,0,DMA64,FIFO0
+mvfc BANK2,64,DMA64,FIFO0
+mvfc BANK2,128,DMA64,FIFO0
+mvfc BANK2,192,DMA64,FIFO0
+mvfc BANK2,256,DMA64,FIFO0
+mvfc BANK2,320,DMA64,FIFO0
+mvfc BANK2,384,DMA64,FIFO0
+mvfc BANK2,448,DMA64,FIFO0
+eop
+"""
+
+
+def test_figure4_assembles_to_18_instructions():
+    words = assemble_microcode(FIGURE4_TEXT)
+    assert len(words) == 18
+    first = decode(words[0])
+    assert first.op is OuOp.MVTC
+    assert (first.bank, first.offset, first.count, first.fifo) == (1, 0, 64, 0)
+    assert decode(words[8]).op is OuOp.EXECS
+    last_mvfc = decode(words[16])
+    assert (last_mvfc.bank, last_mvfc.offset) == (2, 448)
+    assert decode(words[17]).op is OuOp.EOP
+
+
+def test_figure4_text_matches_program_builder():
+    assert assemble_microcode(FIGURE4_TEXT) == figure4_program(256).words()
+
+
+def test_operands_accept_plain_integers():
+    a = assemble_microcode("mvtc 1, 64, 16, 2")
+    b = assemble_microcode("mvtc BANK1,64,DMA16,FIFO2")
+    assert a == b
+
+
+def test_extension_instructions_assemble():
+    words = assemble_microcode("""
+    top:
+        clrofr
+        loop 8
+        mvtcx BANK1,0,DMA64,FIFO0
+        addofr 64
+        endl
+        execs
+        wait 100
+        waitf out,FIFO0,16
+        irq
+        sync
+        jmp top
+        halt
+    """)
+    assert decode(words[1]).imm == 8
+    assert decode(words[6]).imm == 100
+    waitf = decode(words[7])
+    assert waitf.direction is FIFODirection.OUTPUT
+    assert waitf.count == 16
+    assert decode(words[10]).imm == 0  # label `top` = index 0
+    assert decode(words[11]).op is OuOp.HALT
+
+
+def test_labels_resolve_forward():
+    words = assemble_microcode("jmp end\nnop\nend: eop")
+    assert decode(words[0]).imm == 2
+
+
+def test_assembler_errors():
+    with pytest.raises(AssemblerError):
+        assemble_microcode("frobnicate")
+    with pytest.raises(AssemblerError):
+        assemble_microcode("mvtc BANK1,0")
+    with pytest.raises(AssemblerError):
+        assemble_microcode("jmp nowhere")
+    with pytest.raises(AssemblerError):
+        assemble_microcode("eop extra")
+    with pytest.raises(AssemblerError):
+        assemble_microcode("waitf sideways,FIFO0,4")
+    with pytest.raises(AssemblerError):
+        assemble_microcode("x: nop\nx: nop")
+    with pytest.raises(AssemblerError):
+        assemble_microcode("mvtc BANKQ,0,DMA64,FIFO0")
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble_microcode("nop\nnop\nbogus")
+    assert "line 3" in str(excinfo.value)
+
+
+def test_disassemble_roundtrip_figure4():
+    words = assemble_microcode(FIGURE4_TEXT)
+    text = disassemble(words)
+    assert assemble_microcode(text) == words
+    assert "mvtc BANK1,0,DMA64,FIFO0" in text
+
+
+@given(st.integers(1, 16).map(lambda k: 32 * k))
+def test_program_builder_figure4_structure(total):
+    program = (
+        OuProgram().stream_to(1, total, chunk=64).execs()
+        .stream_from(2, total, chunk=64).eop()
+    )
+    words = program.words()
+    decoded = [decode(w) for w in words]
+    mvtcs = [i for i in decoded if i.op is OuOp.MVTC]
+    mvfcs = [i for i in decoded if i.op is OuOp.MVFC]
+    assert sum(i.count for i in mvtcs) == total
+    assert sum(i.count for i in mvfcs) == total
+    # offsets tile the block exactly
+    assert [i.offset for i in mvtcs] == sorted(i.offset for i in mvtcs)
+    assert decoded[-1].op is OuOp.EOP
+
+
+def test_program_builder_validation():
+    with pytest.raises(ConfigurationError):
+        OuProgram().stream_to(1, 0)
+    with pytest.raises(ConfigurationError):
+        OuProgram().stream_to(1, 64, chunk=0)
+    with pytest.raises(ConfigurationError):
+        OuProgram().waitf("up", 0, 1)
+
+
+def test_idct_program_shape():
+    program = idct_program(n_blocks=2)
+    decoded = [decode(w) for w in program.words()]
+    assert sum(1 for i in decoded if i.op is OuOp.EXECS) == 2
+    assert decoded[-1].op is OuOp.EOP
+
+
+def test_looped_program_is_constant_size():
+    small = figure4_looped_program(256)
+    large = figure4_looped_program(1024)
+    assert len(small) == len(large) == 12
+
+
+def test_program_listing_is_parseable():
+    program = figure4_looped_program(256)
+    words = assemble_microcode(program.listing())
+    assert words == program.words()

@@ -1,0 +1,120 @@
+"""Property and unit tests for the Ouessant instruction encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.encoding import decode, encode
+from repro.core.isa import (
+    BASE_SET,
+    FIFODirection,
+    MAX_JUMP,
+    MAX_LOOP,
+    MAX_OFFSET,
+    MAX_TRANSFER_WORDS,
+    MAX_WAIT,
+    OuInstruction,
+    OuOp,
+    TRANSFER_OPS,
+)
+from repro.sim.errors import EncodingError
+
+banks = st.integers(0, 7)
+offsets = st.integers(0, MAX_OFFSET)
+counts = st.integers(1, MAX_TRANSFER_WORDS)
+fifos = st.integers(0, 7)
+
+
+def _instructions():
+    return st.one_of(
+        st.builds(
+            OuInstruction,
+            op=st.sampled_from(sorted(TRANSFER_OPS, key=int)),
+            bank=banks, offset=offsets, count=counts, fifo=fifos,
+        ),
+        st.builds(OuInstruction, op=st.just(OuOp.WAIT),
+                  imm=st.integers(0, MAX_WAIT)),
+        st.builds(
+            OuInstruction, op=st.just(OuOp.WAITF),
+            direction=st.sampled_from(list(FIFODirection)),
+            fifo=fifos, count=st.integers(0, 127),
+        ),
+        st.builds(OuInstruction, op=st.just(OuOp.JMP),
+                  imm=st.integers(0, MAX_JUMP)),
+        st.builds(OuInstruction, op=st.just(OuOp.LOOP),
+                  imm=st.integers(1, MAX_LOOP)),
+        st.builds(OuInstruction, op=st.just(OuOp.ADDOFR),
+                  imm=st.integers(0, MAX_OFFSET)),
+        st.builds(
+            OuInstruction,
+            op=st.sampled_from([
+                OuOp.EOP, OuOp.EXEC, OuOp.EXECS, OuOp.NOP, OuOp.ENDL,
+                OuOp.CLROFR, OuOp.IRQ, OuOp.SYNC, OuOp.HALT,
+            ]),
+        ),
+    )
+
+
+@given(_instructions())
+def test_encode_decode_inverse(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    back = decode(word)
+    assert back.op == instr.op
+    if instr.op in TRANSFER_OPS:
+        assert (back.bank, back.offset, back.count, back.fifo) == (
+            instr.bank, instr.offset, instr.count, instr.fifo
+        )
+    elif instr.op in (OuOp.WAIT, OuOp.JMP, OuOp.LOOP, OuOp.ADDOFR):
+        assert back.imm == instr.imm
+    elif instr.op is OuOp.WAITF:
+        assert (back.direction, back.fifo, back.count) == (
+            instr.direction, instr.fifo, instr.count
+        )
+
+
+def test_opcode_is_five_bits():
+    # "Operation code is stored on 5 bits, which allows up to 32
+    # different instructions"
+    assert all(0 <= int(op) < 32 for op in OuOp)
+    word = encode(OuInstruction(OuOp.MVTC, bank=1, offset=0, count=64))
+    assert (word >> 27) == int(OuOp.MVTC)
+
+
+def test_base_set_is_the_papers_four_plus_execs():
+    names = {op.name for op in BASE_SET}
+    assert names == {"MVTC", "MVFC", "EXEC", "EXECS", "EOP"}
+
+
+def test_field_bounds_enforced():
+    good = dict(bank=0, offset=0, count=1, fifo=0)
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.MVTC, **{**good, "bank": 8}))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.MVTC, **{**good, "offset": MAX_OFFSET + 1}))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.MVTC, **{**good, "count": 0}))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.MVTC, **{**good, "count": MAX_TRANSFER_WORDS + 1}))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.MVTC, **{**good, "fifo": 8}))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.WAIT, imm=MAX_WAIT + 1))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.LOOP, imm=0))
+    with pytest.raises(EncodingError):
+        encode(OuInstruction(OuOp.JMP, imm=-1))
+
+
+def test_undefined_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(0x1F << 27)
+
+
+def test_figure4_transfer_encoding_fields():
+    # mvtc BANK1,448,DMA64,FIFO0
+    word = encode(OuInstruction(OuOp.MVTC, bank=1, offset=448, count=64, fifo=0))
+    assert (word >> 24) & 0x7 == 1
+    assert (word >> 10) & 0x3FFF == 448
+    assert ((word >> 3) & 0x7F) + 1 == 64
+    assert word & 0x7 == 0

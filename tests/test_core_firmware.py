@@ -1,0 +1,91 @@
+"""Tests for the firmware planner."""
+
+import pytest
+
+from repro.core.firmware import FirmwarePlan, plan_streaming_run
+from repro.core.isa import OuOp
+from repro.core.program import figure4_program
+from repro.rac.base import RACPortSpec, StreamingRAC
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.idct import IDCTRac
+from repro.rac.matmul import MatMulRac
+from repro.rac.scale import PassthroughRac
+from repro.sim.errors import ConfigurationError
+
+
+def test_dft_plan_reproduces_figure4():
+    plan = plan_streaming_run(DFTRac(n_points=256))
+    assert plan.program.words() == figure4_program(256).words()
+    assert plan.input_banks == [1]
+    assert plan.output_banks == [2]
+    assert plan.words_in == [512]
+    assert plan.words_out == [512]
+
+
+def test_multi_port_plan_streams_config_first():
+    plan = plan_streaming_run(FIRRac(block_size=32, n_taps=4))
+    ops = [i.op for i in plan.program.instructions]
+    first_transfer = plan.program.instructions[0]
+    # the config port (FIFO1) is loaded before the data port
+    assert first_transfer.fifo == 1
+    assert plan.input_banks == [1, 2]
+    assert plan.output_banks == [3]
+    assert ops[-1] is OuOp.EOP
+
+
+def test_multi_operation_plan_offsets():
+    plan = plan_streaming_run(IDCTRac(fifo_depth=128), operations=3)
+    transfers_in = [i for i in plan.program.instructions
+                    if i.op is OuOp.MVTC]
+    offsets = sorted(i.offset for i in transfers_in)
+    assert offsets == [0, 64, 128]
+    assert plan.words_in == [192]
+    assert plan.operations == 3
+
+
+def test_plan_is_lint_clean_for_all_shipped_racs():
+    for rac in (IDCTRac(), DFTRac(64), FIRRac(block_size=16, n_taps=4),
+                MatMulRac(n=4), PassthroughRac(block_size=8)):
+        plan = plan_streaming_run(rac, operations=2)
+        assert isinstance(plan, FirmwarePlan)
+
+
+def test_blocking_exec_guard():
+    # output block (64) larger than the FIFO depth (16): would deadlock
+    rac = PassthroughRac(block_size=64, fifo_depth=16)
+    with pytest.raises(ConfigurationError):
+        plan_streaming_run(rac, blocking_exec=True)
+    # fits: allowed
+    rac2 = PassthroughRac(block_size=8, fifo_depth=16)
+    plan = plan_streaming_run(rac2, blocking_exec=True)
+    assert any(i.op is OuOp.EXEC for i in plan.program.instructions)
+
+
+def test_bank_window_overflow_rejected():
+    rac = PassthroughRac(block_size=1024, fifo_depth=64)
+    with pytest.raises(ConfigurationError):
+        plan_streaming_run(rac, operations=32)  # 32k words > 16k window
+
+
+def test_too_many_ports_rejected():
+    rac = StreamingRAC(
+        "wide", [4] * 5, [4] * 4, lambda c: [list(w) for w in c[:4]],
+        ports=RACPortSpec([32] * 5, [32] * 4),
+    )
+    with pytest.raises(ConfigurationError):
+        plan_streaming_run(rac)
+
+
+def test_operations_validation():
+    with pytest.raises(ConfigurationError):
+        plan_streaming_run(PassthroughRac(), operations=0)
+
+
+def test_bank_map_checks_completeness():
+    plan = plan_streaming_run(PassthroughRac(block_size=8))
+    with pytest.raises(ConfigurationError):
+        plan.bank_map({0: 0x1000, 1: 0x2000})  # bank 2 missing
+    mapped = plan.bank_map({0: 0x1000, 1: 0x2000, 2: 0x3000, 5: 0x9999})
+    assert 5 not in mapped  # only the banks the plan uses
+    assert plan.banks_used == [0, 1, 2]

@@ -1,0 +1,158 @@
+"""Tests for the static microcode checker."""
+
+import pytest
+
+from repro.core.lint import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    has_errors,
+    lint_program,
+    render_diagnostics,
+)
+from repro.core.program import OuProgram, figure4_looped_program, figure4_program
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.scale import PassthroughRac
+
+
+def errors(diags):
+    return [d for d in diags if d.severity == SEVERITY_ERROR]
+
+
+def warnings(diags):
+    return [d for d in diags if d.severity == SEVERITY_WARNING]
+
+
+def test_figure4_is_clean_against_its_rac():
+    program = figure4_program(256)
+    diags = lint_program(program.instructions, rac=DFTRac(256),
+                         configured_banks={1, 2})
+    assert not diags, render_diagnostics(diags)
+
+
+def test_looped_figure4_is_clean():
+    program = figure4_looped_program(256)
+    diags = lint_program(program.instructions, rac=DFTRac(256),
+                         configured_banks={1, 2})
+    assert not errors(diags), render_diagnostics(diags)
+
+
+def test_empty_program_is_an_error():
+    diags = lint_program([])
+    assert has_errors(diags)
+
+
+def test_missing_terminator_detected():
+    program = OuProgram().stream_to(1, 16).execs().stream_from(2, 16)
+    diags = lint_program(program.instructions)
+    assert any("eop" in d.message for d in errors(diags))
+
+
+def test_bad_fifo_index_detected():
+    program = (OuProgram().mvtc(1, 0, 16, fifo=2).execs()
+               .mvfc(2, 0, 16).eop())
+    diags = lint_program(program.instructions,
+                         rac=PassthroughRac(block_size=16))
+    assert any("FIFO2" in d.message for d in errors(diags))
+
+
+def test_unconfigured_bank_detected():
+    program = (OuProgram().stream_to(5, 16).execs()
+               .stream_from(2, 16).eop())
+    diags = lint_program(program.instructions, configured_banks={1, 2})
+    assert any("bank 5" in d.message for d in errors(diags))
+
+
+def test_bank_zero_implicitly_allowed():
+    program = OuProgram().stream_to(0, 16).eop()
+    diags = lint_program(program.instructions, configured_banks={1})
+    assert not errors(diags)
+
+
+def test_partial_last_operation_detected():
+    # the RAC eats 16-word blocks; 24 words starve the second op
+    program = (OuProgram().stream_to(1, 24).execs()
+               .stream_from(2, 16).eop())
+    diags = lint_program(program.instructions,
+                         rac=PassthroughRac(block_size=16),
+                         configured_banks={1, 2})
+    assert any("starve" in d.message for d in errors(diags))
+
+
+def test_overdrain_detected():
+    program = (OuProgram().stream_to(1, 16).execs()
+               .stream_from(2, 32).eop())
+    diags = lint_program(program.instructions,
+                         rac=PassthroughRac(block_size=16))
+    assert any("hang" in d.message for d in errors(diags))
+
+
+def test_residue_is_a_warning():
+    program = (OuProgram().stream_to(1, 16).execs()
+               .stream_from(2, 8).eop())
+    diags = lint_program(program.instructions,
+                         rac=PassthroughRac(block_size=16))
+    assert not errors(diags)
+    assert any("residue" in d.message for d in warnings(diags))
+
+
+def test_loop_balance_checked():
+    unbalanced = OuProgram().loop(4).mvtc(1, 0, 4).eop()
+    diags = lint_program(unbalanced.instructions)
+    assert any("never closed" in d.message for d in errors(diags))
+    orphan = OuProgram().endl().eop()
+    diags = lint_program(orphan.instructions)
+    assert any("endl" in d.message for d in errors(diags))
+    nested = (OuProgram().loop(2).loop(2).nop().endl().endl().eop())
+    diags = lint_program(nested.instructions)
+    assert any("nested" in d.message for d in errors(diags))
+
+
+def test_loop_multiplies_transfer_volume():
+    # loop 4 x mvtc 8 words = 32 words = 2 blocks of 16: clean
+    program = (OuProgram()
+               .clrofr().loop(4).mvtcx(1, 0, 8).addofr(8).endl()
+               .execs()
+               .clrofr().loop(2).mvfcx(2, 0, 16).addofr(16).endl()
+               .eop())
+    diags = lint_program(program.instructions,
+                         rac=PassthroughRac(block_size=16, fifo_depth=64))
+    assert not errors(diags), render_diagnostics(diags)
+
+
+def test_jmp_target_out_of_range():
+    program = OuProgram().jmp(9).eop()
+    diags = lint_program(program.instructions)
+    assert any("jmp target" in d.message for d in errors(diags))
+
+
+def test_deadlock_prediction_without_autostart():
+    rac = PassthroughRac(block_size=128, fifo_depth=64, autostart=False)
+    program = (OuProgram().stream_to(1, 128).exec_()
+               .stream_from(2, 128).eop())
+    diags = lint_program(program.instructions, rac=rac)
+    assert any("deadlock" in d.message for d in errors(diags))
+
+
+def test_indexed_transfer_without_ofr_setup_warns():
+    program = OuProgram().mvtcx(1, 0, 16).execs().mvfc(2, 0, 16).eop()
+    diags = lint_program(program.instructions,
+                         rac=PassthroughRac(block_size=16))
+    assert any("OFR" in d.message for d in warnings(diags))
+
+
+def test_multi_port_rac_volumes():
+    rac = FIRRac(block_size=32, n_taps=4)
+    clean = (OuProgram()
+             .stream_to(3, 4, fifo=1)
+             .stream_to(1, 32, fifo=0)
+             .execs()
+             .stream_from(2, 32)
+             .eop())
+    diags = lint_program(clean.instructions, rac=rac,
+                         configured_banks={1, 2, 3})
+    assert not errors(diags), render_diagnostics(diags)
+
+
+def test_render_clean():
+    assert "clean" in render_diagnostics([])

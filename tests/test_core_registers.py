@@ -1,0 +1,196 @@
+"""Tests for the Figure 3 register file and the interface."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bus.bus import SystemBus
+from repro.core.interface import OuessantInterface
+from repro.core.registers import (
+    CTRL_D,
+    CTRL_IE,
+    CTRL_S,
+    N_REGISTERS,
+    OuessantRegisters,
+    REG_BANK_BASE,
+    REG_CTRL,
+    REG_PROG_SIZE,
+)
+from repro.mem.cache import Cache
+from repro.mem.memory import Memory
+from repro.sim.errors import ControllerError
+from repro.sim.kernel import Simulator
+
+
+def test_ten_registers_as_in_figure3():
+    assert N_REGISTERS == 10
+    assert REG_BANK_BASE + 4 * 7 == 0x24  # bank 7 at 0x24, as drawn
+
+
+def test_ctrl_bits():
+    regs = OuessantRegisters()
+    regs.write(REG_CTRL, CTRL_S | CTRL_IE)
+    assert regs.started
+    assert regs.interrupt_enabled
+    assert not regs.done
+
+
+def test_writing_s_clears_done():
+    regs = OuessantRegisters()
+    regs.set_done()
+    assert regs.done
+    regs.write(REG_CTRL, CTRL_S)
+    assert not regs.done
+    assert regs.started
+
+
+def test_d_is_read_only_from_bus():
+    regs = OuessantRegisters()
+    regs.write(REG_CTRL, CTRL_D)
+    assert not regs.done
+
+
+def test_start_stop_callbacks():
+    regs = OuessantRegisters()
+    events = []
+    regs.on_start = lambda: events.append("start")
+    regs.on_stop = lambda: events.append("stop")
+    regs.write(REG_CTRL, CTRL_S)
+    regs.write(REG_CTRL, CTRL_S)  # already started: no second callback
+    regs.write(REG_CTRL, 0)
+    assert events == ["start", "stop"]
+
+
+def test_prog_size_register():
+    regs = OuessantRegisters()
+    regs.write(REG_PROG_SIZE, 18)
+    assert regs.read(REG_PROG_SIZE) == 18
+    assert regs.prog_size == 18
+
+
+@given(st.integers(0, 7), st.integers(0, 2**30 - 1).map(lambda v: v * 4))
+def test_bank_registers_roundtrip(bank, base):
+    regs = OuessantRegisters()
+    regs.write(REG_BANK_BASE + 4 * bank, base)
+    assert regs.read(REG_BANK_BASE + 4 * bank) == base
+    assert regs.bank_base(bank) == base
+
+
+def test_unconfigured_bank_raises():
+    regs = OuessantRegisters()
+    with pytest.raises(ControllerError):
+        regs.bank_base(3)
+    with pytest.raises(ControllerError):
+        regs.bank_base(9)
+
+
+def test_unaligned_bank_base_rejected():
+    regs = OuessantRegisters()
+    with pytest.raises(ControllerError):
+        regs.set_bank(0, 0x1002)
+
+
+def test_unknown_offsets_read_zero_and_ignore_writes():
+    regs = OuessantRegisters()
+    assert regs.read(0x30) == 0
+    regs.write(0x30, 0xFFFF)
+    assert regs.read(0x30) == 0
+
+
+def test_reset():
+    regs = OuessantRegisters()
+    regs.write(REG_CTRL, CTRL_S)
+    regs.write(REG_PROG_SIZE, 5)
+    regs.set_bank(2, 0x100)
+    regs.reset()
+    assert not regs.started
+    assert regs.prog_size == 0
+    assert not regs.is_configured(2)
+
+
+# ---------------------------------------------------------------------------
+# interface
+# ---------------------------------------------------------------------------
+
+def make_interface():
+    sim = Simulator()
+    bus = SystemBus()
+    sim.add(bus)
+    mem = Memory("ram", 1 << 16, access_latency=1)
+    bus.attach_slave("ram", 0x4000_0000, 1 << 16, mem)
+    interface = OuessantInterface(bus=bus)
+    bus.attach_slave("ocp", 0x8000_0000, 64, interface)
+    sim.add(interface)
+    return sim, bus, mem, interface
+
+
+def test_interface_translation():
+    _, _, _, interface = make_interface()
+    interface.registers.set_bank(1, 0x4000_1000)
+    assert interface.translate(1, 0, 1) == 0x4000_1000
+    assert interface.translate(1, 16, 4) == 0x4000_1040
+
+
+def test_interface_translation_window_bound():
+    _, _, _, interface = make_interface()
+    interface.registers.set_bank(1, 0x4000_0000)
+    with pytest.raises(ControllerError):
+        interface.translate(1, 16380, 8)  # crosses the 14-bit window
+    interface.translate(1, 16380, 4)  # exactly to the edge is fine
+
+
+def test_interface_master_read_write():
+    sim, _, mem, interface = make_interface()
+    interface.registers.set_bank(2, 0x4000_0100)
+    mem.load_words(0x100, [11, 22, 33])
+    transfer = interface.submit_read(2, 0, 3)
+    sim.run_until(lambda: transfer.done, max_cycles=100)
+    assert transfer.data == [11, 22, 33]
+    wr = interface.submit_write(2, 8, [77])
+    sim.run_until(lambda: wr.done, max_cycles=100)
+    assert mem.read_word(0x120) == 77
+
+
+def test_interface_slave_register_window():
+    _, _, _, interface = make_interface()
+    interface.write_word(REG_PROG_SIZE, 9)
+    assert interface.read_word(REG_PROG_SIZE) == 9
+    assert interface.read_word(0x100) == 0  # out of window reads 0
+    interface.write_word(0x100, 5)  # ignored
+
+
+def test_interface_done_and_interrupt():
+    _, _, _, interface = make_interface()
+    interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    interface.signal_done()
+    assert interface.registers.done
+    assert interface.irq.pending
+
+
+def test_interface_no_interrupt_without_ie():
+    _, _, _, interface = make_interface()
+    interface.write_word(REG_CTRL, CTRL_S)
+    interface.signal_done()
+    assert interface.registers.done
+    assert not interface.irq.pending
+
+
+def test_interface_snoops_caches_on_master_writes():
+    sim, _, mem, interface = make_interface()
+    cache = Cache(size_bytes=1024, line_bytes=32)
+    interface.attach_snooped_cache(cache)
+    interface.registers.set_bank(2, 0x4000_0200)
+    cache.access_read(0x4000_0200)
+    assert cache.holds(0x4000_0200)
+    transfer = interface.submit_write(2, 0, [1])
+    sim.run_until(lambda: transfer.done, max_cycles=100)
+    assert not cache.holds(0x4000_0200)
+
+
+def test_interface_requires_bus_for_master_ops():
+    interface = OuessantInterface(bus=None)
+    interface.registers.set_bank(0, 0)
+    with pytest.raises(ControllerError):
+        interface.submit_read(0, 0, 1)
+    with pytest.raises(ControllerError):
+        interface.submit_write(0, 0, [1])

@@ -1,0 +1,184 @@
+"""Tests for the GPP assembler."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.isa import Op, decode
+from repro.sim.errors import AssemblerError
+
+
+def ops_of(program):
+    return [decode(w).op for w in program.text]
+
+
+def test_simple_program_assembles():
+    program = assemble("""
+        addi r1, r0, 5
+        add  r2, r1, r1
+        halt
+    """)
+    assert ops_of(program) == [Op.ADDI, Op.ADD, Op.HALT]
+
+
+def test_labels_and_branches():
+    program = assemble("""
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+    branch = decode(program.text[1])
+    assert branch.imm == -2  # back to pc+4 - 8
+
+
+def test_forward_reference_resolved():
+    program = assemble("""
+        beq r0, r0, end
+        nop
+    end:
+        halt
+    """)
+    assert decode(program.text[0]).imm == 1
+
+
+def test_li_expands_to_two_words():
+    program = assemble("li r5, 0x12345678\nhalt")
+    assert len(program.text) == 3
+    assert decode(program.text[0]).op == Op.LUI
+    assert decode(program.text[0]).imm == 0x1234
+    assert decode(program.text[1]).op == Op.ORI
+    assert decode(program.text[1]).imm == 0x5678
+
+
+def test_li_negative_value():
+    program = assemble("li r5, -32768\nhalt")
+    assert decode(program.text[0]).imm == 0xFFFF
+    assert decode(program.text[1]).imm == 0x8000
+
+
+def test_la_uses_symbol_address():
+    program = assemble(
+        "la r1, buf\nhalt\n.data\nbuf:\n.word 0",
+        text_base=0, data_base=0x2_0000,
+    )
+    assert decode(program.text[0]).imm == 0x2
+    assert decode(program.text[1]).imm == 0x0
+    assert program.address_of("buf") == 0x2_0000
+
+
+def test_memory_operands():
+    program = assemble("lw r1, 8(r2)\nsw r3, -4(r2)\nhalt")
+    load = decode(program.text[0])
+    assert (load.rd, load.rs1, load.imm) == (1, 2, 8)
+    store = decode(program.text[1])
+    assert (store.rd, store.rs1, store.imm) == (3, 2, -4)
+
+
+def test_data_directives():
+    program = assemble("""
+        halt
+    .data
+    tbl:
+        .word 1, -2, 0x30
+        .space 8
+    after:
+        .word 9
+    """)
+    assert program.data[:3] == [1, 0xFFFFFFFE, 0x30]
+    assert program.data[3:5] == [0, 0]
+    assert program.address_of("after") == program.data_base + 20
+
+
+def test_word_accepts_label_values():
+    program = assemble("""
+    start:
+        halt
+    .data
+    ptr:
+        .word start
+    """, text_base=0x400)
+    assert program.data[0] == 0x400
+
+
+def test_pseudo_instructions():
+    program = assemble("""
+        nop
+        mv  r1, r2
+        neg r3, r4
+        j   done
+        call fn
+        ble r1, r2, done
+        bgt r1, r2, done
+        beqz r1, done
+        bnez r1, done
+    fn:
+        ret
+    done:
+        halt
+    """)
+    assert decode(program.text[0]).op == Op.ADDI
+    assert decode(program.text[1]).op == Op.ADDI
+    assert decode(program.text[2]).op == Op.SUB
+    assert decode(program.text[3]).op == Op.JAL
+    assert decode(program.text[4]).rd == 31  # call links ra
+    assert decode(program.text[5]).op == Op.BGE  # ble swaps
+    assert decode(program.text[6]).op == Op.BLT  # bgt swaps
+    assert decode(program.text[7]).op == Op.BEQ
+    assert decode(program.text[8]).op == Op.BNE
+    assert decode(program.text[9]).op == Op.JALR  # ret
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble("""
+        # full line comment
+        nop   # trailing
+        halt  ; semicolon style
+    """)
+    assert len(program.text) == 2
+
+
+def test_errors_carry_line_numbers():
+    with pytest.raises(AssemblerError) as excinfo:
+        assemble("nop\nbogus r1, r2\n")
+    assert "line 2" in str(excinfo.value)
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("x:\nnop\nx:\nhalt")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("j nowhere\nhalt")
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("add r1, r2\nhalt")
+
+
+def test_bad_memory_operand_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("lw r1, r2\nhalt")
+
+
+def test_misaligned_space_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".data\n.space 3")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblerError):
+        assemble(".bss\nhalt")
+
+
+def test_unaligned_base_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("halt", text_base=2)
+
+
+def test_unknown_symbol_lookup_raises():
+    program = assemble("halt")
+    with pytest.raises(AssemblerError):
+        program.address_of("missing")

@@ -1,0 +1,199 @@
+"""Tests for the instruction-set simulator's execution semantics."""
+
+import pytest
+
+from repro.cpu.assembler import assemble
+from repro.cpu.cpu import CPU
+from repro.cpu.isa import CostModel
+from repro.mem.memory import Memory
+from repro.sim.errors import SimulationError
+
+
+def run_program(source, setup=None, mem_bytes=1 << 16):
+    memory = Memory("ram", mem_bytes)
+    cpu = CPU(memory=memory)
+    program = assemble(source, text_base=0, data_base=0x8000)
+    cpu.load(program)
+    if setup:
+        setup(cpu, program)
+    cycles = cpu.run()
+    return cpu, program, cycles
+
+
+def test_r0_is_hardwired_zero():
+    cpu, _, _ = run_program("addi r0, r0, 5\nadd r1, r0, r0\nhalt")
+    assert cpu.reg(0) == 0
+    assert cpu.reg(1) == 0
+
+
+def test_arithmetic_wraps_32_bits():
+    cpu, _, _ = run_program("""
+        li  r1, 0xFFFFFFFF
+        addi r2, r1, 1
+        halt
+    """)
+    assert cpu.reg(2) == 0
+
+
+def test_signed_ops():
+    cpu, _, _ = run_program("""
+        addi r1, r0, -5
+        addi r2, r0, 3
+        mul  r3, r1, r2       # -15
+        slt  r4, r1, r2       # 1 (signed)
+        sltu r5, r1, r2       # 0 (unsigned: big < 3 is false)
+        srai r6, r1, 1        # -3
+        halt
+    """)
+    assert cpu.reg_signed(3) == -15
+    assert cpu.reg(4) == 1
+    assert cpu.reg(5) == 0
+    assert cpu.reg_signed(6) == -3
+
+
+def test_div_rem_truncate_toward_zero():
+    cpu, _, _ = run_program("""
+        addi r1, r0, -7
+        addi r2, r0, 2
+        div  r3, r1, r2
+        rem  r4, r1, r2
+        halt
+    """)
+    assert cpu.reg_signed(3) == -3
+    assert cpu.reg_signed(4) == -1
+
+
+def test_div_by_zero_defined_result():
+    cpu, _, _ = run_program("""
+        addi r1, r0, 9
+        div  r2, r1, r0
+        rem  r3, r1, r0
+        halt
+    """)
+    assert cpu.reg(2) == 0xFFFFFFFF
+    assert cpu.reg(3) == 9
+
+
+def test_shifts():
+    cpu, _, _ = run_program("""
+        addi r1, r0, 1
+        slli r2, r1, 31
+        srli r3, r2, 31
+        srai r4, r2, 31
+        halt
+    """)
+    assert cpu.reg(2) == 0x8000_0000
+    assert cpu.reg(3) == 1
+    assert cpu.reg(4) == 0xFFFF_FFFF
+
+
+def test_loads_and_stores():
+    cpu, program, _ = run_program("""
+        la  r1, buf
+        addi r2, r0, 42
+        sw  r2, 4(r1)
+        lw  r3, 4(r1)
+        halt
+    .data
+    buf:
+        .space 16
+    """)
+    assert cpu.reg(3) == 42
+
+
+def test_store_r0_writes_zero():
+    cpu, program, _ = run_program("""
+        la  r1, buf
+        sw  r0, 0(r1)
+        halt
+    .data
+    buf:
+        .word 0xFFFF
+    """)
+    assert cpu.memory.read_word(program.address_of("buf")) == 0
+
+
+def test_branch_loop_counts():
+    cpu, _, _ = run_program("""
+        addi r1, r0, 10
+        addi r2, r0, 0
+    loop:
+        addi r2, r2, 3
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    """)
+    assert cpu.reg(2) == 30
+
+
+def test_jal_jalr_call_return():
+    cpu, _, _ = run_program("""
+        call fn
+        addi r2, r0, 1
+        halt
+    fn:
+        addi r1, r0, 7
+        ret
+    """)
+    assert cpu.reg(1) == 7
+    assert cpu.reg(2) == 1
+
+
+def test_unsigned_branches():
+    cpu, _, _ = run_program("""
+        li   r1, 0xFFFFFFFF
+        addi r2, r0, 1
+        bltu r2, r1, yes
+        addi r3, r0, 99
+        halt
+    yes:
+        addi r3, r0, 1
+        halt
+    """)
+    assert cpu.reg(3) == 1
+
+
+def test_cycle_cost_accounting():
+    cost = CostModel(alu=1, mul=4, div=35)
+    memory = Memory("ram", 1 << 12)
+    cpu = CPU(memory=memory, cost_model=cost)
+    cpu.load(assemble("mul r1, r0, r0\ndiv r2, r1, r1\nhalt"))
+    cycles = cpu.run()
+    assert cycles == 4 + 35 + 1
+
+
+def test_instret_counts_instructions():
+    cpu, _, _ = run_program("nop\nnop\nnop\nhalt")
+    assert cpu.instret == 4
+
+
+def test_fast_mode_rejects_mmio():
+    memory = Memory("ram", 1 << 12)
+    cpu = CPU(memory=memory, memory_base=0)
+    cpu.load(assemble("li r1, 0x80000000\nlw r2, 0(r1)\nhalt"))
+    with pytest.raises(SimulationError):
+        cpu.run()
+
+
+def test_fast_mode_rejects_wfi():
+    memory = Memory("ram", 1 << 12)
+    cpu = CPU(memory=memory)
+    cpu.load(assemble("wfi\nhalt"))
+    with pytest.raises(SimulationError):
+        cpu.run()
+
+
+def test_runaway_detection():
+    memory = Memory("ram", 1 << 12)
+    cpu = CPU(memory=memory)
+    cpu.load(assemble("loop: j loop"))
+    with pytest.raises(SimulationError):
+        cpu.run(max_instructions=1000)
+
+
+def test_reset_clears_state():
+    cpu, _, _ = run_program("addi r1, r0, 9\nhalt")
+    cpu.reset()
+    assert cpu.reg(1) == 0
+    assert cpu.halted
+    assert cpu.cycles == 0

@@ -1,0 +1,110 @@
+"""Tests for the GPP ISA encode/decode (incl. property-based inverse)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.isa import (
+    CostModel,
+    Format,
+    Instruction,
+    Op,
+    decode,
+    encode,
+    op_zero_extends,
+    parse_register,
+)
+from repro.sim.errors import EncodingError
+
+regs = st.integers(0, 31)
+imm16_signed = st.integers(-(1 << 15), (1 << 15) - 1)
+imm16_unsigned = st.integers(0, (1 << 16) - 1)
+imm21 = st.integers(-(1 << 20), (1 << 20) - 1)
+
+
+def _instructions():
+    r_ops = st.sampled_from([Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.SLT])
+    i_ops = st.sampled_from([Op.ADDI, Op.SLLI, Op.SLTI])
+    log_ops = st.sampled_from([Op.ANDI, Op.ORI, Op.XORI])
+    b_ops = st.sampled_from([Op.BEQ, Op.BNE, Op.BLT, Op.BGEU])
+    return st.one_of(
+        st.builds(Instruction, op=r_ops, rd=regs, rs1=regs, rs2=regs),
+        st.builds(Instruction, op=i_ops, rd=regs, rs1=regs, imm=imm16_signed),
+        st.builds(Instruction, op=log_ops, rd=regs, rs1=regs, imm=imm16_unsigned),
+        st.builds(Instruction, op=st.just(Op.LUI), rd=regs, imm=imm16_unsigned),
+        st.builds(Instruction, op=st.sampled_from([Op.LW, Op.SW, Op.JALR]),
+                  rd=regs, rs1=regs, imm=imm16_signed),
+        st.builds(Instruction, op=b_ops, rs1=regs, rs2=regs, imm=imm16_signed),
+        st.builds(Instruction, op=st.just(Op.JAL), rd=regs, imm=imm21),
+        st.builds(Instruction, op=st.sampled_from([Op.HALT, Op.WFI])),
+    )
+
+
+@given(_instructions())
+def test_encode_decode_inverse(instr):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    back = decode(word)
+    assert back.op == instr.op
+    fmt = instr.format
+    if fmt is Format.R:
+        assert (back.rd, back.rs1, back.rs2) == (instr.rd, instr.rs1, instr.rs2)
+    elif fmt in (Format.I, Format.LOAD, Format.STORE, Format.JALR):
+        assert (back.rd, back.rs1, back.imm) == (instr.rd, instr.rs1, instr.imm)
+    elif fmt is Format.LUI:
+        assert (back.rd, back.imm) == (instr.rd, instr.imm)
+    elif fmt is Format.BRANCH:
+        assert (back.rs1, back.rs2, back.imm) == (instr.rs1, instr.rs2, instr.imm)
+    elif fmt is Format.JAL:
+        assert (back.rd, back.imm) == (instr.rd, instr.imm)
+
+
+def test_undefined_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(0x3F << 26)
+
+
+def test_oversized_fields_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=1, rs1=1, imm=1 << 16))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.JAL, rd=1, imm=1 << 21))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADD, rd=32, rs1=0, rs2=0))
+
+
+def test_logical_immediates_zero_extend():
+    assert op_zero_extends(Op.ORI)
+    assert not op_zero_extends(Op.ADDI)
+    word = encode(Instruction(Op.ORI, rd=1, rs1=1, imm=0x8000))
+    assert decode(word).imm == 0x8000
+    word = encode(Instruction(Op.ADDI, rd=1, rs1=1, imm=-1))
+    assert decode(word).imm == -1
+
+
+def test_parse_register_forms():
+    assert parse_register("r0") == 0
+    assert parse_register("R31") == 31
+    assert parse_register("zero") == 0
+    assert parse_register("ra") == 31
+    assert parse_register("sp") == 30
+    for bad in ("r32", "x1", "", "r-1"):
+        with pytest.raises(EncodingError):
+            parse_register(bad)
+
+
+def test_cost_model_defaults():
+    cost = CostModel()
+    assert cost.cost(Op.ADD) == 1
+    assert cost.cost(Op.MUL) == 1
+    assert cost.cost(Op.DIV) == 35
+    assert cost.cost(Op.REM) == 35
+    assert cost.cost(Op.LW) == 1
+    assert cost.cost(Op.BEQ) == 1
+    assert cost.cost(Op.JAL) == 1
+
+
+def test_cost_model_custom():
+    cost = CostModel(load=2, mul=4)
+    assert cost.cost(Op.LW) == 2
+    assert cost.cost(Op.MUL) == 4

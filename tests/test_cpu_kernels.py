@@ -1,0 +1,97 @@
+"""Tests for the hand-written assembly kernels vs the golden models."""
+
+import pytest
+
+from repro.baselines.software import (
+    software_dft_direct,
+    software_fft,
+    software_idct,
+    software_memcpy,
+)
+from repro.cpu import kernels
+from repro.sim.errors import ConfigurationError
+from repro.utils import fixedpoint as fp
+
+
+def test_memcpy_copies_and_costs_linear(rng):
+    words = [rng.randrange(1 << 32) for _ in range(32)]
+    out, run = software_memcpy(words)
+    assert out == words
+    out2, run2 = software_memcpy(words * 2)
+    # cost grows linearly: 6 instructions per word
+    assert run2.cycles - run.cycles == pytest.approx(6 * 32, abs=4)
+
+
+def test_idct_kernel_bit_exact(coef_block):
+    result, run = software_idct(coef_block)
+    assert result == fp.idct2_q15(coef_block)
+    assert run.cycles > 0
+
+
+def test_idct_kernel_cycles_near_paper():
+    block = [[100] * 8 for _ in range(8)]
+    _, run = software_idct(block)
+    # paper Table I: SW IDCT = 5000 cycles
+    assert 4000 <= run.cycles <= 7000
+
+
+def test_idct_kernel_saturates():
+    block = [[32767] * 8 for _ in range(8)]
+    result, _ = software_idct(block)
+    assert all(-32768 <= v <= 32767 for row in result for v in row)
+    assert result == fp.idct2_q15(block)
+
+
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_direct_dft_kernel_close_to_golden(n, q15_signal):
+    re, im = q15_signal(n)
+    (yr, yi), run = software_dft_direct(re, im)
+    gr, gi = fp.direct_dft_q15(re, im)
+    assert max(abs(a - b) for a, b in zip(yr, gr)) <= 2
+    assert max(abs(a - b) for a, b in zip(yi, gi)) <= 2
+    # ~21 inner instructions per point pair
+    assert run.cycles > 15 * n * n
+
+
+@pytest.mark.parametrize("n", [8, 16, 64])
+def test_fft_kernel_bit_exact(n, q15_signal):
+    re, im = q15_signal(n)
+    (yr, yi), _ = software_fft(re, im)
+    assert (yr, yi) == fp.fft_q15(re, im)
+
+
+def test_fft_kernel_much_faster_than_direct(q15_signal):
+    re, im = q15_signal(64)
+    _, direct = software_dft_direct(re, im)
+    _, fast = software_fft(re, im)
+    assert fast.cycles < direct.cycles / 3
+
+
+def test_kernel_sources_reject_bad_sizes():
+    with pytest.raises(ConfigurationError):
+        kernels.dft_sw_source(12)
+    with pytest.raises(ConfigurationError):
+        kernels.dft_sw_source(2048)
+    with pytest.raises(ConfigurationError):
+        kernels.fft_sw_source(0)
+    with pytest.raises(ConfigurationError):
+        kernels.memcpy_source(0)
+
+
+def test_dft_kernel_scales_quadratically(q15_signal):
+    re8, im8 = q15_signal(8)
+    re16, im16 = q15_signal(16)
+    _, run8 = software_dft_direct(re8, im8)
+    _, run16 = software_dft_direct(re16, im16)
+    ratio = run16.cycles / run8.cycles
+    assert 3.0 < ratio < 5.0  # ~4x for O(N^2)
+
+
+def test_fft_kernel_scales_n_log_n(q15_signal):
+    re, im = q15_signal(16)
+    re2, im2 = q15_signal(64)
+    _, run16 = software_fft(re, im)
+    _, run64 = software_fft(re2, im2)
+    ratio = run64.cycles / run16.cycles
+    # 64*6 / 16*4 = 6x (plus bit-reversal overhead)
+    assert 4.0 < ratio < 9.0

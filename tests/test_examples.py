@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples double as end-to-end acceptance tests (each asserts its
+own results internally); here we only check they exit cleanly.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "standalone_pipeline.py", "custom_accelerator.py",
+        "ofdm_receiver.py"]
+SLOW = ["jpeg_decode.py", "spectral_analysis.py"]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_fast_example(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert "gain" in result.stdout.lower() or "cycles" in result.stdout

@@ -1,0 +1,132 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim import Component, DeadlockError, SimulationError, Simulator, Trace
+
+
+class Counter(Component):
+    def __init__(self, name="counter"):
+        super().__init__(name)
+        self.value = 0
+
+    def tick(self):
+        self.value += 1
+
+    def reset(self):
+        self.value = 0
+
+
+class TwoPhase(Component):
+    """Captures another component's value during tick, publishes on commit."""
+
+    def __init__(self, other):
+        super().__init__("twophase")
+        self.other = other
+        self.seen = None
+        self._staged = None
+
+    def tick(self):
+        self._staged = self.other.value
+
+    def commit(self):
+        self.seen = self._staged
+
+
+def test_step_advances_cycle_and_ticks_components():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.step(5)
+    assert sim.cycle == 5
+    assert counter.value == 5
+
+
+def test_components_tick_in_registration_order():
+    sim = Simulator()
+    order = []
+
+    class Probe(Component):
+        def tick(self):
+            order.append(self.name)
+
+    sim.add(Probe("a"))
+    sim.add(Probe("b"))
+    sim.step()
+    assert order == ["a", "b"]
+
+
+def test_commit_runs_after_all_ticks():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    observer = sim.add(TwoPhase(counter))
+    sim.step()
+    # observer saw the value *after* counter ticked (same cycle)
+    assert observer.seen == 1
+
+
+def test_duplicate_names_rejected():
+    sim = Simulator()
+    sim.add(Counter("x"))
+    with pytest.raises(SimulationError):
+        sim.add(Counter("x"))
+
+
+def test_remove_component():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.remove(counter)
+    sim.step(3)
+    assert counter.value == 0
+    # name freed for reuse
+    sim.add(Counter())
+
+
+def test_component_lookup():
+    sim = Simulator()
+    counter = sim.add(Counter("abc"))
+    assert sim.component("abc") is counter
+    with pytest.raises(KeyError):
+        sim.component("missing")
+
+
+def test_run_until_returns_elapsed_cycles():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    elapsed = sim.run_until(lambda: counter.value >= 10)
+    assert elapsed == 10
+    assert sim.cycle == 10
+
+
+def test_run_until_deadlock_raises():
+    sim = Simulator()
+    with pytest.raises(DeadlockError):
+        sim.run_until(lambda: False, max_cycles=50, what="never")
+
+
+def test_reset_restores_components_and_clock():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.step(4)
+    sim.reset()
+    assert sim.cycle == 0
+    assert counter.value == 0
+
+
+def test_trace_events_recorded():
+    trace = Trace()
+    sim = Simulator(trace=trace)
+
+    class Emitter(Component):
+        def tick(self):
+            self.trace_event("ping", value=self.now)
+
+    sim.add(Emitter("emitter"))
+    sim.step(3)
+    events = trace.events(component="emitter", event="ping")
+    assert [e.cycle for e in events] == [0, 1, 2]
+    assert events[1].data["value"] == 1
+
+
+def test_component_now_without_sim_is_zero():
+    lone = Counter()
+    assert lone.now == 0

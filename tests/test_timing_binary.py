@@ -1,0 +1,181 @@
+"""Tests for the static timing model and the OUFW firmware format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.binary import (
+    FirmwareImage,
+    HEADER_WORDS,
+    MAGIC,
+    pack,
+    unpack,
+)
+from repro.core.program import figure4_program
+from repro.rac.base import RACPortSpec, StreamingRAC
+from repro.rac.dft import DFTRac
+from repro.rac.idct import IDCTRac
+from repro.sim.errors import ConfigurationError
+from repro.synth.timing import (
+    ARTIX7_TECH,
+    SPARTAN6_TECH,
+    Technology,
+    component_paths,
+    timing_report,
+)
+from repro.system import SoC
+from repro.utils import bits
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+
+def test_ocp_closes_50mhz_on_artix7():
+    """§V-A: 50 MHz, "no timing errors were left"."""
+    for rac in (IDCTRac(), DFTRac(256)):
+        report = timing_report(SoC(racs=[rac]).ocp, clock_mhz=50.0)
+        assert report.closes, report.render()
+        assert report.slack_ns > 0
+
+
+def test_ocp_closes_50mhz_even_on_spartan6():
+    report = timing_report(SoC(racs=[IDCTRac()]).ocp, clock_mhz=50.0,
+                           technology=SPARTAN6_TECH)
+    assert report.closes
+
+
+def test_critical_path_is_the_interface_translation():
+    report = timing_report(SoC(racs=[DFTRac(256)]).ocp)
+    assert report.critical.component == "interface.translate"
+
+
+def test_unrealistic_clock_fails_closure():
+    report = timing_report(SoC(racs=[IDCTRac()]).ocp, clock_mhz=400.0)
+    assert not report.closes
+    assert report.slack_ns < 0
+
+
+def test_width_converting_fifo_adds_a_level():
+    flat = timing_report(SoC(racs=[IDCTRac()]).ocp)
+    wide_rac = StreamingRAC(
+        "wide", [3], [3], lambda c: [list(c[0])],
+        ports=RACPortSpec([96], [96]),
+    )
+    wide = timing_report(SoC(racs=[wide_rac]).ocp)
+    flat_serdes = next(p for p in flat.paths if p.component == "fifo.serdes")
+    wide_serdes = next(p for p in wide.paths if p.component == "fifo.serdes")
+    assert wide_serdes.levels == flat_serdes.levels + 1
+
+
+def test_technology_math():
+    tech = Technology("t", lut_delay=0.5, net_delay=0.5, clk_to_q=0.5,
+                      setup=0.5)
+    assert tech.path_ns(4) == pytest.approx(5.0)
+    assert tech.fmax_mhz(4) == pytest.approx(200.0)
+    with pytest.raises(ConfigurationError):
+        tech.path_ns(-1)
+
+
+def test_report_renders():
+    report = timing_report(SoC(racs=[IDCTRac()]).ocp)
+    text = report.render()
+    assert "MET" in text
+    assert "interface.translate" in text
+
+
+def test_timing_validation():
+    with pytest.raises(ConfigurationError):
+        timing_report(SoC(racs=[IDCTRac()]).ocp, clock_mhz=0)
+
+
+def test_component_paths_cover_the_hierarchy():
+    names = {p.component for p in component_paths()}
+    assert any(n.startswith("interface") for n in names)
+    assert any(n.startswith("controller") for n in names)
+    assert any(n.startswith("fifo") for n in names)
+
+
+# ---------------------------------------------------------------------------
+# OUFW firmware images
+# ---------------------------------------------------------------------------
+
+def test_pack_unpack_roundtrip():
+    words = figure4_program(256).words()
+    image = unpack(pack(words))
+    assert image.words == words
+    assert image.banks_referenced == [0, 1, 2]
+    assert image.requires_bank(1)
+    assert not image.requires_bank(5)
+
+
+def test_pack_rejects_empty_and_invalid():
+    with pytest.raises(ConfigurationError):
+        pack([])
+    with pytest.raises(Exception):
+        pack([0xFFFFFFFF])  # undefined opcode 0x1F
+
+
+def test_unpack_rejects_bad_magic():
+    words = figure4_program(64).words()
+    data = bytearray(pack(words))
+    data[0] ^= 0xFF
+    with pytest.raises(ConfigurationError):
+        unpack(bytes(data))
+
+
+def test_unpack_rejects_corrupted_payload():
+    words = figure4_program(64).words()
+    data = bytearray(pack(words))
+    data[4 * HEADER_WORDS + 1] ^= 0x04  # flip an instruction bit
+    with pytest.raises(ConfigurationError):
+        unpack(bytes(data))
+
+
+def test_unpack_rejects_truncation():
+    data = pack(figure4_program(64).words())
+    with pytest.raises(ConfigurationError):
+        unpack(data[:-8])
+    with pytest.raises(ConfigurationError):
+        unpack(data[:8])
+
+
+def test_unpack_rejects_wrong_version():
+    words = figure4_program(64).words()
+    data = bytearray(pack(words))
+    data[4] = 99  # version word
+    with pytest.raises(ConfigurationError):
+        unpack(bytes(data))
+
+
+def test_driver_runs_packed_image(q15_signal):
+    from repro.sim.errors import DriverError
+    from repro.sw.driver import OuessantDriver
+    from repro.system import RAM_BASE
+    from repro.utils import fixedpoint as fp
+
+    n = 64
+    soc = SoC(racs=[DFTRac(n_points=n)])
+    driver = OuessantDriver(soc)
+    re, im = q15_signal(n)
+    prog, inp, out = (RAM_BASE + 0x1000, RAM_BASE + 0x2000,
+                      RAM_BASE + 0x4000)
+    soc.write_ram(inp, fp.interleave_complex(re, im))
+    image = pack(figure4_program(n).words())
+    # missing bank 2 -> rejected before touching hardware
+    with pytest.raises(DriverError):
+        driver.run_image(image, {0: prog, 1: inp})
+    driver.run_image(image, {0: prog, 1: inp, 2: out})
+    spectrum = fp.deinterleave_complex(soc.read_ram(out, 2 * n))
+    assert spectrum == fp.fft_q15(re, im)
+
+
+@given(st.integers(1, 30))
+def test_pack_size_formula(n_chunks):
+    from repro.core.program import OuProgram
+    program = OuProgram()
+    for i in range(n_chunks):
+        program.mvtc(1, i * 4, 4)
+    program.eop()
+    data = pack(program.words())
+    assert len(data) == 4 * (HEADER_WORDS + n_chunks + 1)

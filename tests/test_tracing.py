@@ -1,0 +1,96 @@
+"""Unit tests for tracing, stats and the VCD writer."""
+
+from repro.sim.tracing import Stats, Trace, VCDWriter
+
+
+def test_trace_capacity_limits_recording():
+    trace = Trace(capacity=2)
+    for i in range(5):
+        trace.record(i, "c", "e", {})
+    assert len(trace) == 2
+
+
+def test_trace_filters_and_first():
+    trace = Trace()
+    trace.record(0, "a", "x", {"v": 1})
+    trace.record(1, "b", "x", {})
+    trace.record(2, "a", "y", {})
+    assert len(trace.events(component="a")) == 2
+    assert len(trace.events(event="x")) == 2
+    assert trace.first("a", "y").cycle == 2
+    assert trace.first("a", "zzz") is None
+
+
+def test_trace_dump_is_readable():
+    trace = Trace()
+    trace.record(7, "bus", "grant", {"master": "cpu"})
+    assert "bus: grant master=cpu" in trace.dump()
+
+
+def test_stats_incr_get_and_merge():
+    a = Stats()
+    a.incr("x")
+    a.incr("x", 2)
+    b = Stats()
+    b.incr("x")
+    b.incr("y", 5)
+    merged = a + b
+    assert merged["x"] == 4
+    assert merged["y"] == 5
+    assert merged["missing"] == 0
+
+
+def test_stats_maximize_keeps_running_max():
+    stats = Stats()
+    stats.maximize("depth", 3)
+    stats.maximize("depth", 1)
+    stats.maximize("depth", 9)
+    assert stats["depth"] == 9
+
+
+def test_stats_report_contains_all_counters():
+    stats = Stats()
+    stats.incr("alpha", 3)
+    stats.incr("beta")
+    report = stats.report("title")
+    assert report.startswith("title")
+    assert "alpha" in report and "beta" in report
+
+
+def test_vcd_writer_renders_header_and_changes():
+    vcd = VCDWriter(timescale="20ns")
+    vcd.register("clk", width=1)
+    vcd.register("data", width=8)
+    vcd.change(0, "clk", 1)
+    vcd.change(0, "data", 0xAB)
+    vcd.change(3, "clk", 0)
+    text = vcd.render()
+    assert "$timescale 20ns $end" in text
+    assert "$var wire 1" in text
+    assert "$var wire 8" in text
+    assert "#0" in text and "#3" in text
+    assert "b10101011" in text
+
+
+def test_vcd_deduplicates_unchanged_values():
+    vcd = VCDWriter()
+    vcd.register("s", width=1)
+    vcd.change(0, "s", 1)
+    vcd.change(1, "s", 1)  # no change
+    vcd.change(2, "s", 0)
+    text = vcd.render()
+    assert text.count("#1") == 0
+
+
+def test_vcd_autoregisters_unknown_signal():
+    vcd = VCDWriter()
+    vcd.change(0, "auto", 5)
+    assert "auto" in vcd.render()
+
+
+def test_vcd_write_to_file(tmp_path):
+    vcd = VCDWriter()
+    vcd.change(0, "x", 1)
+    path = tmp_path / "out.vcd"
+    vcd.write(str(path))
+    assert path.read_text().startswith("$timescale")

@@ -1,0 +1,144 @@
+"""Tests for the Zynq system model and the run profiler."""
+
+import pytest
+
+from repro.core.program import OuProgram, figure4_program
+from repro.core.registers import CTRL_IE, CTRL_S, REG_BANK_BASE, REG_CTRL, REG_PROG_SIZE
+from repro.rac.dft import DFTRac
+from repro.rac.scale import PassthroughRac
+from repro.sim.errors import ConfigurationError
+from repro.sw.baremetal import BaremetalRuntime
+from repro.sw.driver import OuessantDriver
+from repro.sw.profiler import profile_run
+from repro.system import RAM_BASE, SoC
+from repro.utils import fixedpoint as fp
+from repro.zynq import ZynqSoC, molen_portability_note
+
+PROG = RAM_BASE + 0x1000
+IN = RAM_BASE + 0x2000
+OUT = RAM_BASE + 0x8000
+
+
+def boot_and_run(soc, program, banks, max_cycles=500_000):
+    soc.write_ram(PROG, program.words())
+    ocp = soc.ocp
+    for bank, base in {**{0: PROG}, **banks}.items():
+        ocp.interface.write_word(REG_BANK_BASE + 4 * bank, base)
+    ocp.interface.write_word(REG_PROG_SIZE, len(program))
+    ocp.interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    return soc.run_until(lambda: ocp.done, max_cycles=max_cycles)
+
+
+# ---------------------------------------------------------------------------
+# Zynq
+# ---------------------------------------------------------------------------
+
+def test_zynq_runs_figure4_correctly(q15_signal):
+    n = 256
+    soc = ZynqSoC(racs=[DFTRac(n_points=n)])
+    re, im = q15_signal(n)
+    soc.write_ram(IN, fp.interleave_complex(re, im))
+    boot_and_run(soc, figure4_program(n), {1: IN, 2: OUT})
+    out = fp.deinterleave_complex(soc.read_ram(OUT, 2 * n))
+    assert out == fp.fft_q15(re, im)
+
+
+def test_zynq_register_access_pays_bridge_latency(q15_signal):
+    leon = SoC(racs=[PassthroughRac(block_size=16)])
+    zynq = ZynqSoC(racs=[PassthroughRac(block_size=16)])
+    leon_cycles = OuessantDriver(leon).write_register(REG_PROG_SIZE, 1)
+    zynq_cycles = OuessantDriver(zynq).write_register(REG_PROG_SIZE, 1)
+    assert zynq_cycles >= leon_cycles + zynq.gp_bridge_latency
+
+
+def test_zynq_dma_still_efficient(q15_signal):
+    """Bridge latency hits register accesses, not the HP-port bursts."""
+    n = 256
+    cycles = {}
+    for name, soc in (("leon", SoC(racs=[DFTRac(n_points=n)])),
+                      ("zynq", ZynqSoC(racs=[DFTRac(n_points=n)]))):
+        re, im = q15_signal(n)
+        soc.write_ram(IN, fp.interleave_complex(re, im))
+        cycles[name] = boot_and_run(soc, figure4_program(n), {1: IN, 2: OUT})
+    # AXI4 long bursts compensate the DDR latency: within 25%
+    assert cycles["zynq"] < cycles["leon"] * 1.25
+
+
+def test_zynq_driver_config_cost_higher_but_bounded():
+    leon = SoC(racs=[PassthroughRac(block_size=16)])
+    zynq = ZynqSoC(racs=[PassthroughRac(block_size=16)])
+    results = {}
+    for name, soc in (("leon", leon), ("zynq", zynq)):
+        runtime = BaremetalRuntime(soc)
+        soc.write_ram(IN, list(range(16)))
+        program = (OuProgram().stream_to(1, 16).execs()
+                   .stream_from(2, 16).eop())
+        results[name] = runtime.run(program.words(),
+                                    {0: PROG, 1: IN, 2: OUT})
+        assert soc.read_ram(OUT, 16) == list(range(16))
+    assert results["zynq"].config_cycles > results["leon"].config_cycles
+    # 12 extra cycles x 12 register accesses: still tiny vs the payload
+    delta = results["zynq"].config_cycles - results["leon"].config_cycles
+    assert delta < 300
+
+
+def test_zynq_validation_and_note():
+    with pytest.raises(ConfigurationError):
+        ZynqSoC(gp_bridge_latency=-1)
+    assert "AXI" in molen_portability_note()
+
+
+def test_zynq_has_no_iss_cpu():
+    soc = ZynqSoC(racs=[PassthroughRac(block_size=4)])
+    assert soc.cpu is None
+
+
+# ---------------------------------------------------------------------------
+# profiler
+# ---------------------------------------------------------------------------
+
+def test_profile_run_accounts_cycles(q15_signal):
+    n = 64
+    soc = SoC(racs=[DFTRac(n_points=n)])
+    runtime = BaremetalRuntime(soc)
+    re, im = q15_signal(n)
+    soc.write_ram(IN, fp.interleave_complex(re, im))
+    result = runtime.run(figure4_program(n).words(),
+                         {0: PROG, 1: IN, 2: OUT})
+    profile = profile_run(soc, result)
+    assert profile.total_cycles == result.total_cycles
+    assert profile.instructions == 18 if n == 256 else profile.instructions > 0
+    assert profile.words_to_rac == 2 * n
+    assert profile.words_from_rac == 2 * n
+    assert 0.5 < profile.cycles_per_word < 3.0
+    assert profile.exec_wait_cycles == 0  # Figure 4 uses execs
+    assert 0.0 < profile.bus_utilization <= 1.0
+    assert profile.max_fifo_in_atoms > 0
+
+
+def test_profile_render_is_readable(q15_signal):
+    soc = SoC(racs=[PassthroughRac(block_size=16)])
+    runtime = BaremetalRuntime(soc)
+    soc.write_ram(IN, list(range(16)))
+    program = (OuProgram().stream_to(1, 16).execs()
+               .stream_from(2, 16).eop())
+    result = runtime.run(program.words(), {0: PROG, 1: IN, 2: OUT})
+    text = profile_run(soc, result).render()
+    assert "cycles/word" in text
+    assert "bus utilization" in text
+    assert "GPP config" in text
+
+
+def test_profile_transfer_cycles_match_controller_states(q15_signal):
+    soc = SoC(racs=[PassthroughRac(block_size=64, fifo_depth=128)])
+    runtime = BaremetalRuntime(soc)
+    soc.write_ram(IN, list(range(64)))
+    program = (OuProgram().stream_to(1, 64).execs()
+               .stream_from(2, 64).eop())
+    result = runtime.run(program.words(), {0: PROG, 1: IN, 2: OUT})
+    profile = profile_run(soc, result)
+    stats = soc.ocp.controller.stats
+    assert profile.transfer_cycles == (
+        stats["cycles.xfer_to"] + stats["cycles.xfer_from"]
+    )
+    assert profile.fifo_stall_cycles == stats["cycles.fifo_stall"]
