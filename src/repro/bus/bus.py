@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..sim.errors import BusError
+from ..sim.errors import BusError, BusFaultError
 from ..sim.kernel import Component
 from ..sim.tracing import Stats
 from .arbiter import Arbiter, FixedPriorityArbiter
@@ -136,15 +136,34 @@ class SystemBus(Component):
         region, offset = self.memmap.lookup(
             request.address, span_bytes=4 * request.burst
         )
-        if request.kind is AccessKind.READ:
-            transfer.data = region.slave.read_burst(offset, request.burst)
-            if len(transfer.data) != request.burst:
-                raise BusError(
-                    f"slave {region.name!r} returned "
-                    f"{len(transfer.data)} words for a {request.burst}-beat read"
-                )
-        else:
-            region.slave.write_burst(offset, list(request.data or []))
+        try:
+            if request.kind is AccessKind.READ:
+                transfer.data = region.slave.read_burst(offset, request.burst)
+                if len(transfer.data) != request.burst:
+                    raise BusError(
+                        f"slave {region.name!r} returned "
+                        f"{len(transfer.data)} words for a "
+                        f"{request.burst}-beat read"
+                    )
+            else:
+                region.slave.write_burst(offset, list(request.data or []))
+        except BusFaultError as exc:
+            # ERROR response: the transfer terminates, the master must
+            # check the handle -- the rest of the SoC keeps running.
+            transfer.error = True
+            transfer.error_reason = str(exc)
+            if request.kind is AccessKind.READ:
+                transfer.data = [0] * request.burst
+            transfer.complete(self.now)
+            self.stats.incr("slave_errors")
+            self.trace_event(
+                "slave_error",
+                master=request.master,
+                kind=request.kind.value,
+                address=hex(request.address),
+                reason=str(exc),
+            )
+            return
         transfer.complete(self.now)
         self.trace_event(
             "complete",

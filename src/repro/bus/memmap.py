@@ -67,6 +67,21 @@ class MemoryMap:
     def regions(self) -> List[Region]:
         return list(self._regions)
 
+    def replace_slave(self, name: str, slave: BusSlave) -> Region:
+        """Swap the slave behind a mapped window (same base and size).
+
+        The interposition point for wrapper slaves (e.g. fault
+        injectors): the address decode is untouched, only the endpoint
+        changes.  Returns the new region.
+        """
+        for index, region in enumerate(self._regions):
+            if region.name == name:
+                replacement = Region(region.name, region.base,
+                                     region.size, slave)
+                self._regions[index] = replacement
+                return replacement
+        raise ConfigurationError(f"no region named {name!r} to replace")
+
     def find(self, address: int) -> Optional[Region]:
         for region in self._regions:
             if region.contains(address):

@@ -66,6 +66,10 @@ class BusTransfer:
         For reads, the words read (filled at completion).
     issue_cycle / complete_cycle:
         Cycle accounting for latency measurements.
+    error:
+        The slave terminated the transfer with an ERROR response
+        (AMBA-style).  The transfer still counts as ``done`` -- masters
+        must check ``error`` before trusting ``data``.
     """
 
     request: BusRequest
@@ -75,6 +79,9 @@ class BusTransfer:
     grant_cycle: Optional[int] = None
     complete_cycle: Optional[int] = None
     on_complete: Optional[Callable[["BusTransfer"], None]] = None
+    #: the slave answered with an ERROR response; ``data`` is garbage
+    error: bool = False
+    error_reason: Optional[str] = None
 
     @property
     def latency(self) -> int:

@@ -9,6 +9,7 @@ original project shipped alongside its RTL:
 * ``estimate``  -- FPGA resource report for an OCP + RAC
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
+* ``faults``    -- fault-injection demo (replay + recovery)
 
 Every command reads/writes plain text so it composes with shell
 pipelines; ``main`` returns a process exit code and is directly
@@ -168,6 +169,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.demo import render_report
+
+    print(render_report(args.seed))
+    return 0
+
+
 def _cmd_transfer(args: argparse.Namespace) -> int:
     from .analysis import measure_transfer_efficiency
 
@@ -236,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("transfer", help="cycles-per-word analysis")
     p.add_argument("--words", type=int, default=1024)
     p.set_defaults(fn=_cmd_transfer)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection demo: replay determinism + recovery",
+    )
+    p.add_argument("--seed", type=int, default=2024,
+                   help="fault plan seed (same seed = same faults)")
+    p.set_defaults(fn=_cmd_faults)
 
     return parser
 

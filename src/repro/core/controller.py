@@ -28,12 +28,13 @@ from typing import List, Optional
 from ..bus.types import BusTransfer
 from ..rac.base import RAC
 from ..rac.fifo import FIFO
-from ..sim.errors import ControllerError
+from ..sim.errors import ControllerError, EncodingError, FIFOError
 from ..sim.kernel import Component
 from ..sim.tracing import Stats
 from .encoding import decode
 from .interface import OuessantInterface
 from .isa import FIFODirection, OuInstruction, OuOp
+from .registers import ERR_BUS, ERR_FIFO, ERR_ILLEGAL_OP, ERR_WATCHDOG
 from .registers import PROGRAM_BANK
 
 
@@ -48,6 +49,7 @@ class _State(enum.Enum):
     WAITING = "waiting"
     WAITF = "waitf"
     HALTED = "halted"
+    ERROR = "error"
 
 
 class OuessantController(Component):
@@ -63,6 +65,10 @@ class OuessantController(Component):
     ibuf_size:
         Instruction-buffer capacity in instructions; programs longer
         than this fall back to per-instruction fetch past the buffer.
+    watchdog_cycles:
+        Abort a hung ``exec`` after this many consecutive cycles in
+        EXEC_WAIT (0 disables the watchdog, the paper's behaviour).
+        The trap latches ``ERR_WATCHDOG`` in the control register.
     """
 
     def __init__(
@@ -71,15 +77,20 @@ class OuessantController(Component):
         interface: Optional[OuessantInterface] = None,
         prefetch: bool = True,
         ibuf_size: int = 128,
+        watchdog_cycles: int = 0,
     ) -> None:
         super().__init__(name)
         if interface is None:
             raise ControllerError("controller needs an interface")
         if ibuf_size < 1:
             raise ControllerError("ibuf_size must be >= 1")
+        if watchdog_cycles < 0:
+            raise ControllerError("watchdog_cycles must be >= 0")
         self.interface = interface
         self.prefetch = prefetch
         self.ibuf_size = ibuf_size
+        self.watchdog_cycles = watchdog_cycles
+        self._watchdog = 0
         self.rac: Optional[RAC] = None
         self.fifos_in: List[FIFO] = []
         self.fifos_out: List[FIFO] = []
@@ -120,11 +131,16 @@ class OuessantController(Component):
 
     @property
     def running(self) -> bool:
-        return self._state not in (_State.IDLE, _State.HALTED)
+        return self._state not in (_State.IDLE, _State.HALTED,
+                                   _State.ERROR)
 
     @property
     def halted(self) -> bool:
         return self._state is _State.HALTED
+
+    @property
+    def errored(self) -> bool:
+        return self._state is _State.ERROR
 
     @property
     def offset_register(self) -> int:
@@ -139,12 +155,24 @@ class OuessantController(Component):
         self._instr = None
         self._loop_active = False
         self._ofr = 0
+        self._watchdog = 0
         self._state = _State.PREFETCH if self.prefetch else _State.FETCH
         self.trace_event("start", prog_size=self.interface.registers.prog_size)
 
     def _on_stop(self) -> None:
-        if self._state is _State.HALTED:
-            self._state = _State.IDLE
+        # clearing S is also the recovery path: abort whatever run is
+        # in flight (hung exec, trapped state, ...) back to IDLE so the
+        # driver can retry.  An in-flight bus transfer simply completes
+        # with nobody waiting on its handle.
+        if self._state is _State.IDLE:
+            return
+        if self._state not in (_State.HALTED, _State.ERROR):
+            self.trace_event("abort", state=self._state.value, pc=self._pc)
+        self._state = _State.IDLE
+        self._pending = None
+        self._instr = None
+        self._loop_active = False
+        self._watchdog = 0
 
     def reset(self) -> None:
         self._state = _State.IDLE
@@ -154,12 +182,28 @@ class OuessantController(Component):
         self._instr = None
         self._loop_active = False
         self._ofr = 0
+        self._watchdog = 0
         self.stats = Stats()
+
+    # -- traps ---------------------------------------------------------------
+    def _trap(self, code: int, reason: str) -> None:
+        """Abort the run: latch the error in CTRL and park in ERROR.
+
+        The ERROR state is left by writing CTRL (clearing S aborts,
+        setting S starts a fresh run which clears E and the code).
+        """
+        self._state = _State.ERROR
+        self._pending = None
+        self._instr = None
+        self._watchdog = 0
+        self.stats.incr("traps")
+        self.trace_event("trap", code=code, reason=reason, pc=self._pc)
+        self.interface.signal_error(code)
 
     # -- per-cycle behaviour ----------------------------------------------
     def tick(self) -> None:
         state = self._state
-        if state in (_State.IDLE, _State.HALTED):
+        if state in (_State.IDLE, _State.HALTED, _State.ERROR):
             return
         self.stats.incr(f"cycles.{state.value}")
         if state is _State.PREFETCH:
@@ -174,7 +218,15 @@ class OuessantController(Component):
             self._tick_xfer_from()
         elif state is _State.EXEC_WAIT:
             if self.rac is not None and self.rac.end_op:
+                self._watchdog = 0
                 self._state = _State.FETCH
+            elif self.watchdog_cycles > 0:
+                self._watchdog += 1
+                if self._watchdog >= self.watchdog_cycles:
+                    self._trap(
+                        ERR_WATCHDOG,
+                        f"exec hung for {self._watchdog} cycles",
+                    )
         elif state is _State.WAITING:
             self._wait_timer -= 1
             if self._wait_timer <= 0:
@@ -190,9 +242,23 @@ class OuessantController(Component):
             self._pending = self.interface.submit_read(PROGRAM_BANK, 0, words)
             return
         if self._pending.done:
+            if self._pending.error:
+                self._trap(
+                    ERR_BUS,
+                    f"microcode prefetch: {self._pending.error_reason}",
+                )
+                return
             self._ibuf = list(self._pending.data)
             self._pending = None
             self._state = _State.FETCH
+
+    def _decode_or_trap(self, word: int) -> Optional[OuInstruction]:
+        """Decode one microcode word; undefined opcodes trap."""
+        try:
+            return decode(word)
+        except EncodingError as exc:
+            self._trap(ERR_ILLEGAL_OP, f"pc={self._pc}: {exc}")
+            return None
 
     def _tick_fetch(self) -> None:
         prog_size = self.interface.registers.prog_size
@@ -202,7 +268,10 @@ class OuessantController(Component):
                 "(missing eop/halt?)"
             )
         if self._pc < len(self._ibuf):
-            self._instr = decode(self._ibuf[self._pc])
+            instr = self._decode_or_trap(self._ibuf[self._pc])
+            if instr is None:
+                return
+            self._instr = instr
             self._pc += 1
             self._state = _State.DECODE
             return
@@ -213,9 +282,18 @@ class OuessantController(Component):
             )
             return
         if self._pending.done:
+            if self._pending.error:
+                self._trap(
+                    ERR_BUS,
+                    f"fetch pc={self._pc}: {self._pending.error_reason}",
+                )
+                return
             word = self._pending.data[0]
             self._pending = None
-            self._instr = decode(word)
+            instr = self._decode_or_trap(word)
+            if instr is None:
+                return
+            self._instr = instr
             self._pc += 1
             self._state = _State.DECODE
 
@@ -329,9 +407,19 @@ class OuessantController(Component):
         if self._pending is not None:
             if not self._pending.done:
                 return
+            if self._pending.error:
+                self._trap(
+                    ERR_BUS,
+                    f"mvtc read: {self._pending.error_reason}",
+                )
+                return
             data = self._pending.data
             self._pending = None
-            fifo.push_many(data)
+            try:
+                fifo.push_many(data)
+            except FIFOError as exc:
+                self._trap(ERR_FIFO, f"mvtc push: {exc}")
+                return
             self.stats.incr("words_to_rac", len(data))
             if self._xfer_remaining == 0:
                 self._state = _State.FETCH
@@ -351,6 +439,12 @@ class OuessantController(Component):
         if self._pending is not None:
             if not self._pending.done:
                 return
+            if self._pending.error:
+                self._trap(
+                    ERR_BUS,
+                    f"mvfc write: {self._pending.error_reason}",
+                )
+                return
             self._pending = None
             if self._xfer_remaining == 0:
                 self._state = _State.FETCH
@@ -363,7 +457,11 @@ class OuessantController(Component):
         if fifo.occupancy < chunk:
             self.stats.incr("cycles.fifo_stall")
             return
-        data = fifo.pop_many(chunk)
+        try:
+            data = fifo.pop_many(chunk)
+        except FIFOError as exc:
+            self._trap(ERR_FIFO, f"mvfc pop: {exc}")
+            return
         self.stats.incr("words_from_rac", len(data))
         self._pending = self.interface.submit_write(
             self._xfer_bank, self._xfer_offset, data

@@ -10,7 +10,7 @@ system bus.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..bus.bus import SystemBus
 from ..bus.memmap import Region
@@ -36,6 +36,13 @@ class OuessantCoprocessor:
     prefetch / ibuf_size:
         Controller microcode-fetch policy (see
         :class:`~repro.core.controller.OuessantController`).
+    watchdog_cycles:
+        Forwarded to the controller: abort a hung ``exec`` after this
+        many cycles (0 disables).
+    fifo_factory:
+        Callable with the signature of :class:`~repro.rac.fifo.FIFO`
+        used to build the fabric; fault harnesses substitute
+        :class:`~repro.faults.injectors.FaultyFIFO` here.
     """
 
     #: slave window size (registers padded to a power of two)
@@ -49,9 +56,12 @@ class OuessantCoprocessor:
         prefetch: bool = True,
         ibuf_size: int = 128,
         master_priority: int = 1,
+        watchdog_cycles: int = 0,
+        fifo_factory: Optional[Callable[..., FIFO]] = None,
     ) -> None:
         self.name = name
         self.bus = bus
+        self._fifo_factory = fifo_factory or FIFO
         self.interface = OuessantInterface(
             f"{name}.if", bus=bus, master_priority=master_priority
         )
@@ -60,6 +70,7 @@ class OuessantCoprocessor:
             interface=self.interface,
             prefetch=prefetch,
             ibuf_size=ibuf_size,
+            watchdog_cycles=watchdog_cycles,
         )
         self.rac: Optional[RAC] = None
         self.fifos_in: List[FIFO] = []
@@ -74,7 +85,7 @@ class OuessantCoprocessor:
         generation = self._fifo_generation
         suffix = f".g{generation}" if generation else ""
         fifos_in = [
-            FIFO(
+            self._fifo_factory(
                 f"{self.name}.fin{i}{suffix}",
                 width_push=32,
                 width_pop=width,
@@ -83,7 +94,7 @@ class OuessantCoprocessor:
             for i, width in enumerate(rac.ports.input_widths)
         ]
         fifos_out = [
-            FIFO(
+            self._fifo_factory(
                 f"{self.name}.fout{i}{suffix}",
                 width_push=width,
                 width_pop=32,
@@ -145,6 +156,20 @@ class OuessantCoprocessor:
         lives next to the hardware that assumes it.
         """
         memory_write(bank0_base, [w & bits.WORD_MASK for w in words])
+
+    def soft_reset(self) -> None:
+        """Recover from a hung or trapped run without reconfiguring.
+
+        Clears S (aborting any in-flight run via the controller's stop
+        hook), empties the FIFO fabric and clears the RAC handshake.
+        Bank bases and PROG_SIZE are preserved so a driver can retry
+        the run immediately.
+        """
+        self.registers.write(0x00, 0)  # clear S -> controller aborts
+        for fifo in self.fifos_in + self.fifos_out:
+            fifo.reset()
+        if self.rac is not None:
+            self.rac.reset()
 
     # -- dynamic partial reconfiguration hook ------------------------------
     def swap_rac(self, new_rac: RAC) -> RAC:

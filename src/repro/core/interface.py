@@ -147,6 +147,25 @@ class OuessantInterface(Component, BusSlave):
         if self.registers.interrupt_enabled:
             self.irq.assert_()
 
+    def signal_error(self, code: int) -> None:
+        """Controller trap: latch E + code, set D, interrupt if IE.
+
+        D is set alongside E so software waiting for completion (poll
+        or IRQ) wakes up and can read the error status, instead of
+        hanging on a run that will never finish normally.
+        """
+        self.registers.set_error(code)
+        self.registers.set_done()
+        if self.registers.interrupt_enabled:
+            self.irq.assert_()
+        self.stats.incr("errors")
+        self.trace_event(
+            "error",
+            code=code,
+            name=self.registers.error_name,
+            interrupt=self.registers.interrupt_enabled,
+        )
+
     def attach_snooped_cache(self, cache: Cache) -> None:
         self.snooped_caches.append(cache)
 

@@ -6,7 +6,9 @@ address:
 ======= ============ ==================================================
 0x00    CTRL         bit 0 ``S`` (start), bit 1 ``IE`` (interrupt
                      enable), bit 2 ``D`` (done) -- "only 3 bits are
-                     used"
+                     used" by the paper; this implementation adds
+                     bit 3 ``E`` (error) and bits [7:4] (error code)
+                     for the fault-recovery extension (docs/FAULTS.md)
 0x04    PROG_SIZE    number of microcode instructions
 0x08    BANK0        byte base address of memory bank 0
 ...     ...
@@ -30,6 +32,26 @@ from .isa import N_BANKS
 CTRL_S = 1 << 0
 CTRL_IE = 1 << 1
 CTRL_D = 1 << 2
+#: error flag: the controller trapped instead of completing normally
+CTRL_E = 1 << 3
+#: 4-bit error code field, valid while ``E`` is set
+ERR_SHIFT = 4
+ERR_MASK = 0xF << ERR_SHIFT
+
+#: error codes reported in CTRL[7:4]
+ERR_NONE = 0
+ERR_ILLEGAL_OP = 1
+ERR_BUS = 2
+ERR_WATCHDOG = 3
+ERR_FIFO = 4
+
+ERROR_NAMES = {
+    ERR_NONE: "none",
+    ERR_ILLEGAL_OP: "illegal_opcode",
+    ERR_BUS: "bus_error",
+    ERR_WATCHDOG: "watchdog",
+    ERR_FIFO: "fifo_fault",
+}
 
 REG_CTRL = 0x00
 REG_PROG_SIZE = 0x04
@@ -69,8 +91,27 @@ class OuessantRegisters:
     def done(self) -> bool:
         return bool(self.ctrl & CTRL_D)
 
+    @property
+    def error(self) -> bool:
+        return bool(self.ctrl & CTRL_E)
+
+    @property
+    def error_code(self) -> int:
+        """4-bit error code; meaningful only while :attr:`error`."""
+        return (self.ctrl & ERR_MASK) >> ERR_SHIFT
+
+    @property
+    def error_name(self) -> str:
+        return ERROR_NAMES.get(self.error_code, f"code{self.error_code}")
+
     def set_done(self) -> None:
         self.ctrl |= CTRL_D
+
+    def set_error(self, code: int) -> None:
+        """Latch E plus the error code (sticky until the next start)."""
+        self.ctrl = (self.ctrl & ~ERR_MASK) | CTRL_E | (
+            (code & 0xF) << ERR_SHIFT
+        )
 
     def clear_start(self) -> None:
         self.ctrl &= ~CTRL_S
@@ -112,15 +153,17 @@ class OuessantRegisters:
         value &= bits.WORD_MASK
         if offset == REG_CTRL:
             was_started = self.started
-            # D is read-only from the bus: writing S clears it (start of
-            # a new run), IE is taken as written.
+            # D, E and the error code are read-only from the bus:
+            # writing S clears them (start of a new run), IE is taken
+            # as written.
             new_ctrl = value & (CTRL_S | CTRL_IE)
             if value & CTRL_S and not was_started:
-                self.ctrl = new_ctrl  # D cleared on start
+                self.ctrl = new_ctrl  # D/E/code cleared on start
                 if self.on_start is not None:
                     self.on_start()
             else:
-                self.ctrl = new_ctrl | (self.ctrl & CTRL_D)
+                self.ctrl = new_ctrl | (self.ctrl & (CTRL_D | CTRL_E
+                                                     | ERR_MASK))
                 if was_started and not (value & CTRL_S):
                     if self.on_stop is not None:
                         self.on_stop()

@@ -209,7 +209,16 @@ class _Assembler:
         text: List[int] = []
         data: List[int] = []
         for item in self.items:
-            words = self._emit_item(item)
+            try:
+                words = self._emit_item(item)
+            except AssemblerError:
+                raise
+            except Exception as exc:
+                # bad registers / oversized immediates surface from the
+                # encoder as EncodingError and friends; the assembler's
+                # contract is that malformed source always raises
+                # AssemblerError with the offending line
+                raise AssemblerError(str(exc), item.line) from exc
             target = text if item.section == "text" else data
             base = self.text_base if item.section == "text" else self.data_base
             index = (item.address - base) // 4

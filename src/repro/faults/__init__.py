@@ -1,0 +1,43 @@
+"""Deterministic fault injection and recovery testing.
+
+The paper's integration claim is that a misbehaving coprocessor stays
+contained behind the bus interface.  This package makes the claim
+testable: seed-driven :class:`FaultPlan` schedules drive wrapper
+components that flip bits, drop handshakes, signal bus errors, stall
+accesses, corrupt microcode and hang the accelerator -- all
+replayably -- while the controller traps, the driver retries, and, as
+a last resort, software takes over.  See ``docs/FAULTS.md``.
+"""
+
+from .harness import (
+    build_faulty_soc,
+    fault_history,
+    fault_signature,
+    faulty_fifo_factory,
+    inject_faults,
+)
+from .injectors import ExecHang, FaultySlave, FaultyFIFO, MicrocodeCorruptor
+from .plan import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    RECOVERABLE_KINDS,
+    fifo_site_for,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "RECOVERABLE_KINDS",
+    "fifo_site_for",
+    "FaultySlave",
+    "FaultyFIFO",
+    "MicrocodeCorruptor",
+    "ExecHang",
+    "build_faulty_soc",
+    "inject_faults",
+    "faulty_fifo_factory",
+    "fault_history",
+    "fault_signature",
+]

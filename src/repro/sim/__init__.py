@@ -4,13 +4,16 @@ from .errors import (
     AddressError,
     AssemblerError,
     BusError,
+    BusFaultError,
     ConfigurationError,
     ControllerError,
     DeadlockError,
     DriverError,
+    DriverTimeout,
     EncodingError,
     FIFOError,
     MemoryError_,
+    OcpRunError,
     RACError,
     ReconfigurationError,
     ReproError,
@@ -24,14 +27,17 @@ __all__ = [
     "AddressError",
     "AssemblerError",
     "BusError",
+    "BusFaultError",
     "Component",
     "ConfigurationError",
     "ControllerError",
     "DeadlockError",
     "DriverError",
+    "DriverTimeout",
     "EncodingError",
     "FIFOError",
     "MemoryError_",
+    "OcpRunError",
     "RACError",
     "ReconfigurationError",
     "ReproError",

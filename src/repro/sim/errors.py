@@ -33,6 +33,16 @@ class AddressError(BusError):
     """Access to an address that no slave decodes."""
 
 
+class BusFaultError(BusError):
+    """A slave signalled an ERROR response on the bus.
+
+    Raised by a slave's access method (typically a fault injector) to
+    model the AMBA ERROR response.  The bus converts it into an errored
+    :class:`~repro.bus.types.BusTransfer` instead of crashing the
+    simulation, so masters can observe and recover from it.
+    """
+
+
 class MemoryError_(ReproError):
     """Out-of-range or misaligned memory access.
 
@@ -81,6 +91,25 @@ class FIFOError(RACError):
 
 class DriverError(ReproError):
     """Software-stack misuse (bad bank setup, run before load, ...)."""
+
+
+class DriverTimeout(DriverError):
+    """The driver gave up waiting for the OCP to finish a run."""
+
+
+class OcpRunError(DriverError):
+    """The OCP completed a run with its error bit set.
+
+    Attributes
+    ----------
+    code:
+        The 4-bit error code from the control register (see
+        :mod:`repro.core.registers`), or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, code: "int | None" = None) -> None:
+        self.code = code
+        super().__init__(message)
 
 
 class ConfigurationError(ReproError):

@@ -61,8 +61,12 @@ class Component:
 
     def trace_event(self, event: str, **data: object) -> None:
         """Record an event in the simulator trace, if tracing is on."""
-        if self.sim is not None and self.sim.trace is not None:
-            self.sim.trace.record(self.sim.cycle, self.name, event, data)
+        if self.sim is not None:
+            # remembered even without a trace: names the most recently
+            # active component in deadlock diagnostics
+            self.sim.last_active = self.name
+            if self.sim.trace is not None:
+                self.sim.trace.record(self.sim.cycle, self.name, event, data)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -80,6 +84,8 @@ class Simulator:
     def __init__(self, trace: Optional[Trace] = None) -> None:
         self.cycle = 0
         self.trace = trace
+        #: name of the component that most recently emitted an event
+        self.last_active: Optional[str] = None
         self._components: List[Component] = []
         self._names = set()
 
@@ -147,8 +153,11 @@ class Simulator:
         start = self.cycle
         while not predicate():
             if self.cycle - start >= max_cycles:
+                last = self.last_active or "<none>"
                 raise DeadlockError(
-                    f"{what} not reached within {max_cycles} cycles"
+                    f"{what} not reached within {max_cycles} cycles "
+                    f"(stuck at cycle {self.cycle}, last active "
+                    f"component: {last})"
                 )
             self.step()
         return self.cycle - start

@@ -67,6 +67,16 @@ class Trace:
             out = [e for e in out if e.event == event]
         return list(out)
 
+    def with_prefix(self, prefix: str) -> List[TraceEvent]:
+        """Events whose name starts with ``prefix``.
+
+        Fault injectors emit ``fault.<kind>`` events; recovery shows up
+        as ``trap`` / ``error`` / ``abort`` / ``retry`` / ``degraded``.
+        ``with_prefix("fault.")`` therefore yields a run's complete
+        injected-fault history, which replays can be diffed against.
+        """
+        return [e for e in self._events if e.event.startswith(prefix)]
+
     def first(self, component: str, event: str) -> Optional[TraceEvent]:
         for entry in self._events:
             if entry.component == component and entry.event == event:

@@ -18,18 +18,27 @@ driver entry point in syscall costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..bus.types import AccessKind, BusRequest
 from ..core.registers import (
     CTRL_D,
+    CTRL_E,
     CTRL_IE,
     CTRL_S,
+    ERR_MASK,
+    ERR_SHIFT,
+    ERROR_NAMES,
     REG_BANK_BASE,
     REG_CTRL,
     REG_PROG_SIZE,
 )
-from ..sim.errors import DriverError
+from ..sim.errors import (
+    DeadlockError,
+    DriverError,
+    DriverTimeout,
+    OcpRunError,
+)
 from ..system import RAM_BASE, SoC
 
 #: bus master name used for driver-originated accesses
@@ -54,6 +63,27 @@ class RunResult:
     def hardware_cycles(self) -> int:
         """Start-of-config to results-visible, excluding OS overhead."""
         return self.total_cycles - self.sw_overhead_cycles
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of :meth:`OuessantDriver.run_with_recovery`.
+
+    Either ``result`` holds the accounting of the attempt that finally
+    succeeded on hardware, or ``degraded`` is True and
+    ``fallback_value`` holds whatever the software fallback returned.
+    """
+
+    attempts: int
+    degraded: bool
+    result: Optional[RunResult] = None
+    fallback_value: object = None
+    faults: List[str] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        """True when hardware succeeded after at least one retry."""
+        return self.result is not None and self.attempts > 1
 
 
 class OuessantDriver:
@@ -146,14 +176,20 @@ class OuessantDriver:
         repeatedly reads CTRL until ``D`` is set (each poll is a real
         bus read, stealing bus bandwidth exactly like the classical
         integration style does).
+
+        Raises :class:`~repro.sim.errors.DriverTimeout` when the OCP
+        does not complete within ``max_cycles``.
         """
         start = self.soc.sim.cycle
         if self.use_interrupt:
-            self.soc.run_until(
-                lambda: self.ocp.irq.pending,
-                max_cycles=max_cycles,
-                what="OCP interrupt",
-            )
+            try:
+                self.soc.run_until(
+                    lambda: self.ocp.irq.pending,
+                    max_cycles=max_cycles,
+                    what="OCP interrupt",
+                )
+            except DeadlockError as exc:
+                raise DriverTimeout(str(exc)) from exc
             self.ocp.irq.clear()
         else:
             self.poll_count = 0
@@ -163,12 +199,44 @@ class OuessantDriver:
                 if value & CTRL_D:
                     break
                 if self.soc.sim.cycle - start > max_cycles:
-                    raise DriverError("poll timeout waiting for D")
+                    raise DriverTimeout(
+                        f"poll timeout waiting for D after "
+                        f"{max_cycles} cycles"
+                    )
         return self.soc.sim.cycle - start
+
+    def check_status(self) -> int:
+        """Read CTRL and raise :class:`OcpRunError` if E is latched.
+
+        Returns the cycles spent on the status read.  Called by
+        :meth:`run` when ``check_status=True`` (the recovery path).
+        """
+        value, cycles = self.read_register(REG_CTRL)
+        if value & CTRL_E:
+            code = (value & ERR_MASK) >> ERR_SHIFT
+            name = ERROR_NAMES.get(code, f"code{code}")
+            raise OcpRunError(
+                f"OCP run trapped with error {code} ({name})", code=code
+            )
+        return cycles
 
     def acknowledge(self) -> int:
         """Clear S, releasing the controller back to idle."""
         return self.write_register(REG_CTRL, 0)
+
+    def abort(self) -> int:
+        """Force a hung or trapped OCP back to idle; returns cycles.
+
+        A real bus write clears S (the controller abort path); the
+        coprocessor-level soft reset then drains the FIFO fabric and
+        clears the RAC handshake, exactly what a dedicated reset line
+        would do in hardware.
+        """
+        cycles = self.write_register(REG_CTRL, 0)
+        self.ocp.soft_reset()
+        self.ocp.irq.clear()
+        self._trace("abort")
+        return cycles
 
     def run_image(
         self, image_bytes: bytes, banks: Dict[int, int]
@@ -197,11 +265,18 @@ class OuessantDriver:
         program_words: List[int],
         banks: Dict[int, int],
         program_address: Optional[int] = None,
+        check_status: bool = False,
+        max_wait_cycles: int = 5_000_000,
     ) -> RunResult:
         """Full sequence: place microcode, configure, start, wait, ack.
 
         ``banks`` maps bank numbers to byte addresses; bank 0 is the
         microcode bank (defaulting to ``program_address``).
+
+        With ``check_status=True`` the driver reads CTRL back after
+        completion and raises :class:`OcpRunError` if the controller
+        trapped (an extra bus read, so it is off by default to keep
+        the paper's measured sequence unchanged).
         """
         if program_address is None:
             program_address = banks.get(0)
@@ -214,7 +289,9 @@ class OuessantDriver:
         begin = self.soc.sim.cycle
         config = self.configure(all_banks, len(program_words))
         config += self.start()
-        compute = self.wait_done()
+        compute = self.wait_done(max_cycles=max_wait_cycles)
+        if check_status:
+            compute += self.check_status()
         ack = self.acknowledge()
         total = self.soc.sim.cycle - begin
         return RunResult(
@@ -222,4 +299,85 @@ class OuessantDriver:
             config_cycles=config,
             compute_cycles=compute,
             ack_cycles=ack,
+        )
+
+    # -- fault recovery ---------------------------------------------------
+    def _trace(self, event: str, **data: object) -> None:
+        """Record a driver-level event in the simulator trace."""
+        sim = self.soc.sim
+        sim.last_active = "driver"
+        if sim.trace is not None:
+            sim.trace.record(sim.cycle, "driver", event, data)
+
+    def run_with_recovery(
+        self,
+        program_words: List[int],
+        banks: Dict[int, int],
+        program_address: Optional[int] = None,
+        max_attempts: int = 3,
+        timeout_cycles: int = 100_000,
+        backoff_cycles: int = 64,
+        max_backoff_cycles: int = 4096,
+        fallback: "Optional[Callable[[], object]]" = None,
+    ) -> RecoveryResult:
+        """Run with timeout, bounded-backoff retry and degradation.
+
+        Each attempt is a full :meth:`run` with ``check_status=True``
+        and a ``timeout_cycles`` watchdog on completion.  A timed-out
+        or trapped attempt is aborted (:meth:`abort`) and retried after
+        an exponentially growing idle window (``backoff_cycles``,
+        doubling, capped at ``max_backoff_cycles``).  When all attempts
+        fail the OCP is declared dead: if ``fallback`` is given it is
+        invoked (graceful degradation to the software path) and its
+        return value stored in :attr:`RecoveryResult.fallback_value`;
+        otherwise the last error is re-raised.
+        """
+        if max_attempts < 1:
+            raise DriverError("max_attempts must be >= 1")
+        faults: List[str] = []
+        backoff = backoff_cycles
+        last_error: Optional[Exception] = None
+        for attempt in range(1, max_attempts + 1):
+            try:
+                result = self.run(
+                    program_words,
+                    banks,
+                    program_address=program_address,
+                    check_status=True,
+                    max_wait_cycles=timeout_cycles,
+                )
+            except (DriverTimeout, OcpRunError) as exc:
+                last_error = exc
+                faults.append(f"attempt {attempt}: {exc}")
+                self._trace(
+                    "fault",
+                    attempt=attempt,
+                    kind=type(exc).__name__,
+                    detail=str(exc),
+                )
+                self.abort()
+                if attempt < max_attempts:
+                    self._trace("retry", attempt=attempt, backoff=backoff)
+                    self.soc.sim.step(backoff)
+                    backoff = min(backoff * 2, max_backoff_cycles)
+                continue
+            if attempt > 1:
+                self._trace("recovered", attempt=attempt)
+            return RecoveryResult(
+                attempts=attempt,
+                degraded=False,
+                result=result,
+                faults=faults,
+            )
+        self._trace("degraded", attempts=max_attempts,
+                    fallback=fallback is not None)
+        if fallback is None:
+            assert last_error is not None
+            raise last_error
+        value = fallback()
+        return RecoveryResult(
+            attempts=max_attempts,
+            degraded=True,
+            fallback_value=value,
+            faults=faults,
         )

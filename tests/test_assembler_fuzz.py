@@ -1,0 +1,247 @@
+"""Round-trip and robustness fuzzing for both assemblers.
+
+Two toolchains ship with the reproduction: the Ouessant microcode
+assembler (:mod:`repro.core.assembler`) and the GPP assembler
+(:mod:`repro.cpu.assembler`).  Both pairs must satisfy:
+
+* **round trip** -- encode -> disassemble -> re-assemble is
+  byte-identical for every encodable instruction sequence;
+* **error discipline** -- malformed text raises
+  :class:`~repro.sim.errors.AssemblerError`, never a bare
+  ``ValueError``/``IndexError``/``KeyError`` leaking from the parser
+  internals (callers, including the CLI, catch ``ReproError`` only).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assembler import assemble_microcode, disassemble
+from repro.core.encoding import encode as ou_encode
+from repro.core.isa import (
+    FIFODirection,
+    MAX_JUMP,
+    MAX_LOOP,
+    MAX_OFFSET,
+    MAX_TRANSFER_WORDS,
+    MAX_WAIT,
+    OuInstruction,
+    OuOp,
+    TRANSFER_OPS,
+)
+from repro.cpu.assembler import assemble
+from repro.cpu.disassembler import disassemble_program
+from repro.cpu.isa import (
+    ALU_I_OPS,
+    ALU_R_OPS,
+    Instruction,
+    Op,
+    encode as cpu_encode,
+)
+from repro.sim.errors import AssemblerError
+
+# ---------------------------------------------------------------------------
+# Ouessant microcode: encode -> disassemble -> assemble
+# ---------------------------------------------------------------------------
+
+_banks = st.integers(0, 7)
+_fifos = st.integers(0, 7)
+
+ou_instructions = st.one_of(
+    st.builds(
+        OuInstruction,
+        op=st.sampled_from(sorted(TRANSFER_OPS, key=int)),
+        bank=_banks,
+        offset=st.integers(0, MAX_OFFSET),
+        count=st.integers(1, MAX_TRANSFER_WORDS),
+        fifo=_fifos,
+    ),
+    st.builds(OuInstruction, op=st.just(OuOp.WAIT),
+              imm=st.integers(0, MAX_WAIT)),
+    st.builds(
+        OuInstruction, op=st.just(OuOp.WAITF),
+        direction=st.sampled_from(list(FIFODirection)),
+        fifo=_fifos, count=st.integers(0, 127),
+    ),
+    st.builds(OuInstruction, op=st.just(OuOp.JMP),
+              imm=st.integers(0, MAX_JUMP)),
+    st.builds(OuInstruction, op=st.just(OuOp.LOOP),
+              imm=st.integers(1, MAX_LOOP)),
+    st.builds(OuInstruction, op=st.just(OuOp.ADDOFR),
+              imm=st.integers(0, MAX_OFFSET)),
+    st.builds(
+        OuInstruction,
+        op=st.sampled_from([
+            OuOp.EOP, OuOp.EXEC, OuOp.EXECS, OuOp.NOP, OuOp.ENDL,
+            OuOp.CLROFR, OuOp.IRQ, OuOp.SYNC, OuOp.HALT,
+        ]),
+    ),
+)
+
+
+@given(st.lists(ou_instructions, min_size=1, max_size=32))
+def test_ou_roundtrip_is_byte_identical(instrs):
+    words = [ou_encode(i) for i in instrs]
+    assert assemble_microcode(disassemble(words)) == words
+
+
+# ---------------------------------------------------------------------------
+# GPP assembler: encode -> disassemble_program -> assemble
+# ---------------------------------------------------------------------------
+
+_regs = st.integers(0, 31)
+_imm16 = st.integers(-(1 << 15), (1 << 15) - 1)
+_uimm16 = st.integers(0, (1 << 16) - 1)
+
+cpu_straightline = st.one_of(
+    st.builds(Instruction, op=st.sampled_from(sorted(ALU_R_OPS, key=int)),
+              rd=_regs, rs1=_regs, rs2=_regs),
+    st.builds(
+        Instruction,
+        op=st.sampled_from(sorted(ALU_I_OPS - {Op.SLLI, Op.SRLI, Op.SRAI},
+                                  key=int)),
+        rd=_regs, rs1=_regs, imm=_imm16,
+    ),
+    # shifts: keep the amount in machine range so the text form is valid
+    st.builds(Instruction,
+              op=st.sampled_from([Op.SLLI, Op.SRLI, Op.SRAI]),
+              rd=_regs, rs1=_regs, imm=st.integers(0, 31)),
+    st.builds(Instruction, op=st.just(Op.LUI), rd=_regs, imm=_uimm16),
+    st.builds(Instruction, op=st.sampled_from([Op.LW, Op.SW]),
+              rd=_regs, rs1=_regs,
+              imm=st.integers(-2048, 2047).map(lambda v: v * 4)),
+    st.builds(Instruction, op=st.just(Op.JALR),
+              rd=_regs, rs1=_regs, imm=_imm16),
+    st.builds(Instruction, op=st.sampled_from([Op.HALT, Op.WFI])),
+)
+
+
+def _strip_comments(listing):
+    return "\n".join(
+        line.split("#")[0].rstrip() for line in listing.splitlines()
+    )
+
+
+def _assert_cpu_roundtrip(words):
+    listing = disassemble_program(words, base=0)
+    again = assemble(_strip_comments(listing), text_base=0)
+    assert again.text == words
+
+
+@given(st.lists(cpu_straightline, min_size=1, max_size=24))
+def test_cpu_straightline_roundtrip(instrs):
+    _assert_cpu_roundtrip([cpu_encode(i) for i in instrs])
+
+
+@given(st.data())
+def test_cpu_control_flow_roundtrip(data):
+    """Branches/JALs with in-range targets survive the round trip."""
+    body = data.draw(st.lists(cpu_straightline, min_size=2, max_size=12))
+    words = [cpu_encode(i) for i in body]
+    n = len(words)
+    for _ in range(data.draw(st.integers(1, 4))):
+        index = data.draw(st.integers(0, n - 1))
+        target = data.draw(st.integers(0, n - 1))
+        offset = target - index - 1
+        if data.draw(st.booleans()):
+            op = data.draw(st.sampled_from(
+                [Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU]
+            ))
+            instr = Instruction(op, rs1=data.draw(_regs),
+                                rs2=data.draw(_regs), imm=offset)
+        else:
+            instr = Instruction(Op.JAL, rd=data.draw(_regs), imm=offset)
+        words[index] = cpu_encode(instr)
+    _assert_cpu_roundtrip(words)
+
+
+# ---------------------------------------------------------------------------
+# error discipline: malformed text never leaks internal exceptions
+# ---------------------------------------------------------------------------
+
+_garbage_line = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd", "Po", "Sm", "Zs"),
+        whitelist_characters=",()-#:.%",
+    ),
+    max_size=40,
+)
+
+_mutated_line = st.one_of(
+    _garbage_line,
+    # plausible-but-wrong: known mnemonics with corrupted operands
+    st.sampled_from([
+        "mvtc BANK9,0,DMA4,FIFO0",
+        "mvtc BANK1,zz,DMA4,FIFO0",
+        "mvtc BANK1,0",
+        "wait",
+        "wait -1",
+        "wait 99999999999",
+        "waitf sideways,FIFO0,4",
+        "jmp nowhere",
+        "loop 0",
+        "loop",
+        "addofr x",
+        "eop extra",
+        "dup: dup: nop",
+        "addi r1, r2",
+        "addi r99, r0, 1",
+        "addi r1, r0, 123456789",
+        "lw r1, 4(r2",
+        "lw r1, (r2)",
+        "sw r1, oops(r2)",
+        "beq r1, r2, missing_label",
+        "jal r1",
+        ".word",
+        ".space -4",
+        ".bogus 1",
+        "li r1",
+        "push",
+        "slli r1, r2, r3, r4",
+    ]),
+)
+
+
+def _assert_only_assembler_errors(fn, source):
+    try:
+        fn(source)
+    except AssemblerError:
+        pass  # the documented failure mode
+    except (ValueError, IndexError, KeyError, TypeError) as exc:
+        pytest.fail(
+            f"{type(exc).__name__} leaked for source {source!r}: {exc}"
+        )
+
+
+@settings(max_examples=200)
+@given(st.lists(_mutated_line, min_size=1, max_size=6).map("\n".join))
+def test_ou_assembler_error_discipline(source):
+    _assert_only_assembler_errors(assemble_microcode, source)
+
+
+@settings(max_examples=200)
+@given(st.lists(_mutated_line, min_size=1, max_size=6).map("\n".join))
+def test_cpu_assembler_error_discipline(source):
+    _assert_only_assembler_errors(assemble, source)
+
+
+def test_known_bad_sources_raise_assembler_error():
+    """Deterministic pins for the classic parser leak spots."""
+    for source in (
+        "wait one",            # non-numeric operand
+        "mvtc BANK1",          # truncated operand list
+        "jmp missing",         # undefined label
+        "loop 999999",         # out-of-range immediate
+        "bogus r1, r2",        # unknown mnemonic
+    ):
+        with pytest.raises(AssemblerError):
+            assemble_microcode(source)
+    for source in (
+        "addi r1",             # missing operands
+        "lw r1, 4(",           # unbalanced address syntax
+        "beq r1, r2, nowhere", # undefined label
+        "addi r1, r0, 1 << 20",
+        ".word ten",
+    ):
+        with pytest.raises(AssemblerError):
+            assemble(source)

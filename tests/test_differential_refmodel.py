@@ -1,0 +1,195 @@
+"""Differential harness: 200 seeded programs, controller vs refmodel.
+
+Each case is generated from a seed by a deterministic builder: a random
+(but lint-clean by construction) microcode program around a
+:class:`ScaleRac`, with random block/chunk geometry, loop/offset-
+register form or straight-line form, timing-only filler instructions,
+and a random drain amount (some cases deliberately leave words in the
+output FIFO so residual occupancy is part of the comparison).
+
+Every case runs three ways:
+
+1. functionally on :mod:`repro.core.refmodel` (the spec),
+2. cycle-accurately on the full SoC,
+3. cycle-accurately again under a seeded *recoverable* fault plan
+   (stall windows on main memory -- extra latency, no data change).
+
+Memory contents and residual FIFO occupancy must agree across all
+three.  The fault-injected run additionally proves the claim encoded
+in :data:`repro.faults.plan.RECOVERABLE_KINDS`: timing faults never
+change functional outcomes.
+
+The seed base can be shifted with ``REPRO_DIFF_SEED`` (the CI harness
+pins it) without touching the file.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.core.lint import has_errors, lint_program
+from repro.core.program import OuProgram
+from repro.core.refmodel import (
+    ReferenceMemory,
+    ReferenceRAC,
+    execute_reference,
+)
+from repro.core.registers import (
+    CTRL_IE,
+    CTRL_S,
+    REG_BANK_BASE,
+    REG_CTRL,
+    REG_PROG_SIZE,
+)
+from repro.faults import FaultPlan, inject_faults
+from repro.rac.scale import ScaleRac
+from repro.system import RAM_BASE, SoC
+
+PROG = RAM_BASE + 0x1000
+IN = RAM_BASE + 0x2000
+OUT = RAM_BASE + 0x3000
+
+N_PROGRAMS = 200
+SEED_BASE = int(os.environ.get("REPRO_DIFF_SEED", "20240"))
+
+
+class Case:
+    """One generated differential test case."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.block = rng.choice([4, 8])
+        self.n_blocks = rng.randint(1, 3)
+        self.total = self.block * self.n_blocks
+        self.chunk = rng.choice([2, 4, 8])
+        self.factor = rng.randint(-3, 3)
+        self.shift = rng.randint(0, 2)
+        # sometimes leave one block undrained: residual FIFO occupancy
+        # then becomes part of the differential comparison
+        self.drained = self.total - (
+            self.block if (self.n_blocks > 1 and rng.random() < 0.3) else 0
+        )
+        self.inputs = [rng.randrange(0, 1 << 16) for _ in range(self.total)]
+        self.program = self._build_program(rng)
+
+    def _build_program(self, rng: random.Random) -> OuProgram:
+        program = OuProgram()
+        use_loop = rng.random() < 0.5 and self.total % self.chunk == 0
+
+        def filler() -> None:
+            roll = rng.random()
+            if roll < 0.15:
+                program.nop()
+            elif roll < 0.25:
+                program.wait(rng.randint(0, 30))
+            elif roll < 0.3:
+                program.sync()
+
+        filler()
+        if use_loop:
+            n_chunks = self.total // self.chunk
+            program.clrofr()
+            program.loop(n_chunks)
+            program.mvtcx(1, 0, self.chunk)
+            program.addofr(self.chunk)
+            program.endl()
+        else:
+            program.stream_to(1, self.total, chunk=self.chunk)
+        filler()
+        # execs, not exec: with an autostart streaming RAC the ops fire
+        # data-driven, so a blocking exec issued after the data is
+        # already consumed would start an input-less op and hang
+        program.execs()
+        filler()
+        if self.drained:
+            program.stream_from(2, self.drained, chunk=self.chunk)
+        program.eop()
+        return program
+
+    def compute(self, collected):
+        out = []
+        for word in collected[0]:
+            signed = word - (1 << 32) if word & (1 << 31) else word
+            out.append(((signed * self.factor) >> self.shift) & 0xFFFFFFFF)
+        return [out]
+
+    def rac(self) -> ScaleRac:
+        return ScaleRac(
+            block_size=self.block, factor=self.factor, shift=self.shift,
+            fifo_depth=64,
+        )
+
+
+def run_reference(case: Case):
+    memory = ReferenceMemory()
+    memory.write(IN, case.inputs)
+    rac = ReferenceRAC([case.block], [case.block], case.compute)
+    execute_reference(
+        case.program.instructions, {0: PROG, 1: IN, 2: OUT}, memory, rac
+    )
+    return memory.read(OUT, case.total), len(rac.out_streams[0])
+
+
+def run_soc(case: Case, plan=None):
+    soc = SoC(racs=[case.rac()])
+    if plan is not None:
+        inject_faults(soc, plan)
+    soc.write_ram(IN, case.inputs)
+    soc.write_ram(PROG, case.program.words())
+    ocp = soc.ocp
+    for bank, base in {0: PROG, 1: IN, 2: OUT}.items():
+        ocp.interface.write_word(REG_BANK_BASE + 4 * bank, base)
+    ocp.interface.write_word(REG_PROG_SIZE, len(case.program))
+    ocp.interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    soc.run_until(lambda: ocp.done, max_cycles=500_000)
+    assert not ocp.registers.error, "no trap expected in these runs"
+    # under-drained cases: eop can fire while the accelerator is still
+    # emitting its last words -- settle before reading residuals
+    previous = -1
+    while ocp.fifos_out[0].occupancy != previous:
+        previous = ocp.fifos_out[0].occupancy
+        soc.sim.step(50)
+    return soc.read_ram(OUT, case.total), previous
+
+
+@pytest.mark.parametrize("index", range(N_PROGRAMS))
+def test_differential(index):
+    seed = SEED_BASE + index
+    rng = random.Random(seed)
+    case = Case(rng)
+
+    diags = lint_program(
+        case.program.instructions, rac=case.rac(), configured_banks={1, 2}
+    )
+    assert not has_errors(diags), (
+        f"seed {seed} generated a lint-rejected program:\n"
+        + "\n".join(str(d) for d in diags)
+    )
+
+    ref_memory, ref_residual = run_reference(case)
+    sim_memory, sim_residual = run_soc(case)
+    assert sim_memory == ref_memory, f"memory divergence at seed {seed}"
+    assert sim_residual == ref_residual, (
+        f"FIFO residual divergence at seed {seed}"
+    )
+
+    # same program under recoverable (timing-only) faults: stall
+    # windows on main memory must not change any functional outcome
+    plan = FaultPlan.random_stalls(
+        seed, n_events=rng.randint(1, 4), sites=("ram",), max_index=6,
+        max_stall=25,
+    )
+    assert plan.recoverable
+    faulted_memory, faulted_residual = run_soc(case, plan=plan)
+    assert faulted_memory == ref_memory, (
+        f"stall faults changed memory at seed {seed}"
+    )
+    assert faulted_residual == ref_residual, (
+        f"stall faults changed FIFO residual at seed {seed}"
+    )
+
+
+def test_seed_base_is_stable_without_env():
+    """Guard: the default seed base is pinned (CI overrides via env)."""
+    if "REPRO_DIFF_SEED" not in os.environ:
+        assert SEED_BASE == 20240

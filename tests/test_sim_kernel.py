@@ -103,6 +103,30 @@ def test_run_until_deadlock_raises():
         sim.run_until(lambda: False, max_cycles=50, what="never")
 
 
+def test_deadlock_message_names_cycle_condition_and_component():
+    """The diagnostic carries everything needed to start debugging."""
+    sim = Simulator(trace=Trace())
+
+    class Chatty(Component):
+        def tick(self):
+            self.trace_event("busy")
+
+    sim.add(Chatty("dma_engine"))
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run_until(lambda: False, max_cycles=50, what="OCP interrupt")
+    message = str(excinfo.value)
+    assert "OCP interrupt" in message               # what was awaited
+    assert "not reached within 50 cycles" in message  # the bound
+    assert "stuck at cycle 50" in message           # where it gave up
+    assert "last active component: dma_engine" in message
+
+
+def test_deadlock_message_without_activity():
+    sim = Simulator()
+    with pytest.raises(DeadlockError, match="last active component: <none>"):
+        sim.run_until(lambda: False, max_cycles=10)
+
+
 def test_reset_restores_components_and_clock():
     sim = Simulator()
     counter = sim.add(Counter())
