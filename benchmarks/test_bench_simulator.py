@@ -4,8 +4,16 @@ Unlike the other benches, these measure the *reproduction's* own speed
 -- simulated cycles and instructions per host second -- so regressions
 in the simulation kernel show up.  They use pytest-benchmark
 conventionally (multiple rounds, statistics meaningful).
+
+``test_idle_skip_speedup`` additionally writes the machine-readable
+``BENCH_simulator.json`` artifact (override the path with the
+``REPRO_BENCH_OUT`` environment variable) comparing naive ticking with
+the idle-skip fast path per workload; CI uploads it per run.
 """
 
+import os
+
+from repro.bench import run_benchmarks, write_report
 from repro.core.program import OuProgram
 from repro.core.registers import CTRL_IE, CTRL_S, REG_BANK_BASE, REG_CTRL, REG_PROG_SIZE
 from repro.cpu.assembler import assemble
@@ -74,3 +82,22 @@ def test_ocp_loopback_cycles_per_second(benchmark):
     cycles = benchmark(run)
     assert cycles < 1000
     benchmark.extra_info["simulated_cycles"] = cycles
+
+
+def test_idle_skip_speedup():
+    """Naive vs fast kernel across the bench workloads + JSON artifact.
+
+    ``run_benchmarks`` itself asserts cycle-count equality between the
+    two modes, so this doubles as an equivalence smoke test.  The
+    wall-clock bar is deliberately far below the ~50x a stall-heavy
+    workload actually gets, to stay robust on loaded CI hosts.
+    """
+    results = run_benchmarks()
+    write_report(
+        results, os.environ.get("REPRO_BENCH_OUT", "BENCH_simulator.json")
+    )
+    by_name = {r.workload: r for r in results}
+    stall = by_name["stall_heavy"]
+    assert stall.skip_ratio > 0.9
+    assert stall.speedup >= 3.0
+    assert by_name["idle_timeout"].skip_ratio == 1.0

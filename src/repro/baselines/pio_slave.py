@@ -104,6 +104,16 @@ class SlaveAccelerator(Component, BusSlave):
         self._ctrl = CTRL_START
         self._timer = self.compute_latency
 
+    def next_activity(self):
+        if not self._running:
+            return None  # woken by a CTRL write over the bus
+        # datapath latency burn-down; the compute fires at expiry
+        return self.now + self._timer
+
+    def on_skip(self, cycles: int) -> None:
+        if self._running:
+            self._timer -= cycles
+
     def tick(self) -> None:
         if not self._running:
             return

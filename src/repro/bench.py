@@ -1,0 +1,214 @@
+"""Kernel wall-clock benchmarks: naive ticking vs idle skipping.
+
+The paper's workloads spend most of their simulated time *waiting* --
+the controller parked in ``exec_wait`` while a deep datapath crunches,
+a driver backing off on a busy device, a timeout running to its
+deadline.  The idle-skip fast path (see ``docs/SIMULATION.md``) turns
+those waits into O(1) jumps; this module measures how much that is
+actually worth, per workload, on the host at hand.
+
+Each workload is run twice -- ``idle_skip=False`` then ``True`` -- and
+the two runs are required to land on the *same simulated cycle count*
+(anything else is a kernel equivalence bug, and the bench refuses to
+report numbers for it).  Results carry wall-clock seconds, simulated
+cycles per host second for both modes, the speedup ratio and the
+fraction of cycles the fast path skipped.
+
+Entry points:
+
+* :func:`run_benchmarks` -- programmatic, returns ``BenchResult`` rows;
+* ``python -m repro.cli bench`` -- human-readable table, optional
+  ``--output BENCH_simulator.json`` machine-readable artifact;
+* ``benchmarks/test_bench_simulator.py`` -- CI smoke run emitting the
+  same JSON artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .core.program import OuProgram
+from .core.registers import (
+    CTRL_IE,
+    CTRL_S,
+    REG_BANK_BASE,
+    REG_CTRL,
+    REG_PROG_SIZE,
+)
+from .rac.scale import PassthroughRac
+from .sim.errors import DeadlockError, SimulationError
+from .system import RAM_BASE, SoC
+
+PROG = RAM_BASE + 0x1000
+IN = RAM_BASE + 0x2000
+OUT = RAM_BASE + 0x3000
+
+#: (simulated cycles, skip ratio) of one run in one kernel mode
+WorkloadFn = Callable[[bool], Tuple[int, float]]
+
+
+@dataclass
+class BenchResult:
+    """Naive-vs-fast measurement of one workload."""
+
+    workload: str
+    cycles: int
+    naive_seconds: float
+    fast_seconds: float
+    skip_ratio: float
+
+    @property
+    def speedup(self) -> float:
+        return self.naive_seconds / self.fast_seconds if self.fast_seconds else 0.0
+
+    @property
+    def naive_cycles_per_sec(self) -> float:
+        return self.cycles / self.naive_seconds if self.naive_seconds else 0.0
+
+    @property
+    def fast_cycles_per_sec(self) -> float:
+        return self.cycles / self.fast_seconds if self.fast_seconds else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["speedup"] = self.speedup
+        out["naive_cycles_per_sec"] = self.naive_cycles_per_sec
+        out["fast_cycles_per_sec"] = self.fast_cycles_per_sec
+        return out
+
+
+def _run_ocp(
+    idle_skip: bool,
+    compute_latency: int,
+    block: int,
+    repeats: int,
+    max_cycles: int,
+) -> Tuple[int, float]:
+    """One OCP program: ``repeats`` x (stream in, exec, stream out)."""
+    soc = SoC(
+        racs=[PassthroughRac(
+            block_size=block, fifo_depth=2 * block,
+            compute_latency=compute_latency,
+        )],
+        idle_skip=idle_skip,
+    )
+    program = OuProgram()
+    for _ in range(repeats):
+        program.stream_to(1, block).execs().stream_from(2, block)
+    program.eop()
+    soc.write_ram(IN, list(range(block)))
+    soc.write_ram(PROG, program.words())
+    ocp = soc.ocp
+    for bank, base in {0: PROG, 1: IN, 2: OUT}.items():
+        ocp.interface.write_word(REG_BANK_BASE + 4 * bank, base)
+    ocp.interface.write_word(REG_PROG_SIZE, len(program))
+    ocp.interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    soc.run_until(lambda: ocp.done, max_cycles=max_cycles)
+    if soc.read_ram(OUT, block) != list(range(block)):
+        raise SimulationError("bench workload produced wrong data")
+    return soc.sim.cycle, soc.sim.profile().skip_ratio
+
+
+def _stall_heavy(idle_skip: bool) -> Tuple[int, float]:
+    """Exec-wait dominated: a deep datapath, tiny data movement."""
+    return _run_ocp(
+        idle_skip,
+        compute_latency=50_000, block=16, repeats=4, max_cycles=400_000,
+    )
+
+
+def _loopback(idle_skip: bool) -> Tuple[int, float]:
+    """Transfer dominated: almost nothing to skip (overhead check)."""
+    return _run_ocp(
+        idle_skip,
+        compute_latency=1, block=64, repeats=8, max_cycles=100_000,
+    )
+
+
+def _idle_timeout(idle_skip: bool) -> Tuple[int, float]:
+    """A timeout running to its deadline on a quiescent system.
+
+    This is the driver-backoff / watchdog shape: nothing will ever
+    happen, and the naive kernel still ticks every component for every
+    one of the ``max_cycles`` cycles before raising.
+    """
+    soc = SoC(racs=[PassthroughRac(block_size=16)], idle_skip=idle_skip)
+    try:
+        soc.run_until(lambda: False, max_cycles=200_000, what="bench timeout")
+    except DeadlockError:
+        pass
+    else:  # pragma: no cover - the predicate above is constant
+        raise SimulationError("bench timeout unexpectedly satisfied")
+    return soc.sim.cycle, soc.sim.profile().skip_ratio
+
+
+WORKLOADS: Dict[str, WorkloadFn] = {
+    "stall_heavy": _stall_heavy,
+    "loopback": _loopback,
+    "idle_timeout": _idle_timeout,
+}
+
+
+def _measure(fn: WorkloadFn, idle_skip: bool) -> Tuple[int, float, float]:
+    begin = time.perf_counter()
+    cycles, skip_ratio = fn(idle_skip)
+    return cycles, skip_ratio, time.perf_counter() - begin
+
+
+def run_benchmarks(
+    names: Optional[List[str]] = None,
+) -> List[BenchResult]:
+    """Run each named workload naive then fast; verify cycle equality."""
+    results: List[BenchResult] = []
+    for name in names or list(WORKLOADS):
+        fn = WORKLOADS[name]
+        naive_cycles, naive_ratio, naive_s = _measure(fn, idle_skip=False)
+        fast_cycles, fast_ratio, fast_s = _measure(fn, idle_skip=True)
+        if naive_cycles != fast_cycles:
+            raise SimulationError(
+                f"bench {name!r}: naive finished at cycle {naive_cycles} "
+                f"but idle-skip at {fast_cycles} -- kernel equivalence "
+                f"violated"
+            )
+        if naive_ratio:
+            raise SimulationError(
+                f"bench {name!r}: naive run reported skip ratio "
+                f"{naive_ratio} (must be 0)"
+            )
+        results.append(BenchResult(
+            workload=name,
+            cycles=fast_cycles,
+            naive_seconds=naive_s,
+            fast_seconds=fast_s,
+            skip_ratio=fast_ratio,
+        ))
+    return results
+
+
+def render_results(results: List[BenchResult]) -> str:
+    header = (
+        f"{'workload':<14} {'cycles':>9} {'naive s':>9} {'fast s':>9} "
+        f"{'speedup':>8} {'skip %':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        lines.append(
+            f"{r.workload:<14} {r.cycles:>9} {r.naive_seconds:>9.3f} "
+            f"{r.fast_seconds:>9.3f} {r.speedup:>7.1f}x "
+            f"{100 * r.skip_ratio:>6.1f}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(results: List[BenchResult], path: str) -> None:
+    """Emit the machine-readable artifact (``BENCH_simulator.json``)."""
+    payload = {
+        "bench": "simulator",
+        "workloads": [r.as_dict() for r in results],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -101,6 +101,20 @@ class SystemBus(Component):
         if self._current is None and self._pending:
             self._grant(self.arbiter.pick(self._pending))
 
+    def next_activity(self):
+        # an in-flight transfer occupies the bus until _busy_until; the
+        # intervening ticks only count busy cycles (reconciled in
+        # on_skip), so the completion cycle is the next real work
+        if self._current is not None:
+            return max(self._busy_until, self.now)
+        if self._pending:
+            return self.now  # a grant is due this cycle
+        return None  # idle until a master submits a request
+
+    def on_skip(self, cycles: int) -> None:
+        if self._current is not None:
+            self.stats.incr("busy_cycles", cycles)
+
     # -- internals -----------------------------------------------------------
     def _grant(self, transfer: BusTransfer) -> None:
         self._pending.remove(transfer)

@@ -10,6 +10,7 @@ original project shipped alongside its RTL:
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
 * ``faults``    -- fault-injection demo (replay + recovery)
+* ``bench``     -- kernel wall-clock benchmark (naive vs idle-skip)
 
 Every command reads/writes plain text so it composes with shell
 pipelines; ``main`` returns a process exit code and is directly
@@ -176,6 +177,23 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import WORKLOADS, render_results, run_benchmarks, write_report
+
+    names = args.workloads or None
+    for name in names or []:
+        if name not in WORKLOADS:
+            raise ReproError(
+                f"unknown workload {name!r} (known: {', '.join(WORKLOADS)})"
+            )
+    results = run_benchmarks(names)
+    print(render_results(results))
+    if args.output:
+        write_report(results, args.output)
+        print(f"# wrote {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_transfer(args: argparse.Namespace) -> int:
     from .analysis import measure_transfer_efficiency
 
@@ -240,6 +258,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--env", default="linux",
                    choices=("linux", "baremetal"))
     p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser(
+        "bench",
+        help="kernel wall-clock benchmark: naive vs idle-skip",
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: all)")
+    p.add_argument("--output", "-o",
+                   help="write machine-readable JSON report here")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("transfer", help="cycles-per-word analysis")
     p.add_argument("--words", type=int, default=1024)

@@ -235,6 +235,65 @@ class OuessantController(Component):
             if self._waitf_satisfied():
                 self._state = _State.FETCH
 
+    # -- quiescence protocol --------------------------------------------------
+    def next_activity(self):
+        """Declare idleness for the stall-shaped FSM states.
+
+        The controller is data-driven in most states (waiting on a bus
+        transfer, on FIFO occupancy, on the RAC's ``end_op``): those
+        conditions only change when *another* component ticks, so the
+        controller may declare indefinite idleness and rely on the
+        global quiescence rule.  Self-timed waits (``wait`` imm, the
+        exec watchdog) declare their expiry cycle instead.
+        """
+        state = self._state
+        if state in (_State.IDLE, _State.HALTED, _State.ERROR):
+            return None
+        if state is _State.EXEC_WAIT:
+            if self.rac is not None and self.rac.end_op:
+                return self.now
+            if self.watchdog_cycles > 0:
+                # the trap fires on the tick that takes _watchdog to
+                # the limit: remaining ticks - 1 cycles from now
+                return self.now + (self.watchdog_cycles - self._watchdog) - 1
+            return None
+        if state is _State.WAITING:
+            # the tick that decrements _wait_timer to zero resumes
+            return self.now + self._wait_timer - 1
+        if state is _State.WAITF:
+            return self.now if self._waitf_satisfied() else None
+        if state in (_State.XFER_TO, _State.XFER_FROM):
+            if self._pending is not None:
+                return self.now if self._pending.done else None
+            if state is _State.XFER_TO:
+                fifo = self.fifos_in[self._xfer_fifo]
+                stalled = fifo.free_push_words < 1
+            else:
+                fifo = self.fifos_out[self._xfer_fifo]
+                chunk = min(self._xfer_remaining, self.bus_burst_threshold,
+                            fifo.depth)
+                stalled = fifo.occupancy < chunk
+            return None if stalled else self.now
+        if state in (_State.PREFETCH, _State.FETCH):
+            if self._pending is not None and not self._pending.done:
+                return None  # the bus completion wakes us
+            return self.now
+        return self.now  # DECODE and anything else: always active
+
+    def on_skip(self, cycles: int) -> None:
+        state = self._state
+        if state in (_State.IDLE, _State.HALTED, _State.ERROR):
+            return
+        # every skipped tick would have charged the state counter
+        self.stats.incr(f"cycles.{state.value}", cycles)
+        if state is _State.EXEC_WAIT and self.watchdog_cycles > 0:
+            self._watchdog += cycles
+        elif state is _State.WAITING:
+            self._wait_timer -= cycles
+        elif (state in (_State.XFER_TO, _State.XFER_FROM)
+              and self._pending is None):
+            self.stats.incr("cycles.fifo_stall", cycles)
+
     # -- fetch path ---------------------------------------------------------
     def _tick_prefetch(self) -> None:
         if self._pending is None:

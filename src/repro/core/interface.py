@@ -62,6 +62,12 @@ class OuessantInterface(Component, BusSlave):
         self.snooped_caches: List[Cache] = []
         self.stats = Stats()
 
+    def next_activity(self):
+        # the interface has no clocked behaviour of its own: registers
+        # are written by bus transfers, signalling happens inside the
+        # controller's tick -- always safe to skip
+        return None
+
     # -- slave side (configuration registers) ------------------------------
     def read_word(self, offset: int) -> int:
         if not 0 <= offset < 4 * N_REGISTERS:

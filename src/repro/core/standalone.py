@@ -71,6 +71,15 @@ class StandaloneSequencer(Component):
             interface.write_word(REG_BANK_BASE + 4 * bank, base)
         interface.write_word(REG_PROG_SIZE, self.prog_size)
 
+    def next_activity(self):
+        if not self._booted or self._rearm:
+            return self.now  # boot / re-arm writes are due this cycle
+        if self.ocp.done and self.ocp.registers.started:
+            return self.now  # a completed run must be acknowledged
+        # armed and waiting on ocp.done, which only a controller tick
+        # can raise -- idle until the rest of the system acts
+        return None
+
     def tick(self) -> None:
         if not self._booted:
             self._program_registers()

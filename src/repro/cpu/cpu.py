@@ -171,6 +171,37 @@ class CPU(Component):
         if self._pending is None:
             self._stall = cost - 1
 
+    def next_activity(self):
+        if self.halted:
+            return None
+        if self._pending is not None:
+            # waiting on an MMIO bus transfer; the bus wakes the system
+            return self.now if self._pending.done else None
+        if self._stall > 0:
+            # multi-cycle instruction cost: pure counter burn-down
+            return self.now + self._stall
+        # consult only the predecoded map -- next_activity must not
+        # fault where the naive tick would (a bad pc faults in tick)
+        instr = self._decoded.get(self.pc)
+        if (instr is not None and instr.op is Op.WFI
+                and (self.irq is None or not self.irq.any_pending())):
+            return None  # asleep until an interrupt is raised
+        return self.now
+
+    def on_skip(self, cycles: int) -> None:
+        if self.halted:
+            return
+        if self._pending is not None:
+            self.cycles += cycles
+            return
+        if self._stall > 0:
+            self._stall -= cycles
+            self.cycles += cycles
+            return
+        # skippable only while parked on wfi with no pending interrupt
+        self.cycles += cycles
+        self.stats.incr("wfi_cycles", cycles)
+
     # -- core ------------------------------------------------------------
     def _fetch(self, pc: int) -> Instruction:
         instr = self._decoded.get(pc)

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional
 
 from ..rac.base import RAC
 from ..rac.fifo import FIFO
+from ..sim.errors import SimulationError
 from ..sim.tracing import Trace, TraceEvent
 from ..system import RAM_BASE, SoC
 from .injectors import ExecHang, FaultySlave, FaultyFIFO, MicrocodeCorruptor
@@ -86,7 +87,20 @@ def build_faulty_soc(
 
 
 def fault_history(trace: Trace) -> List[TraceEvent]:
-    """All injected-fault events of a run, in order."""
+    """All injected-fault events of a run, in order.
+
+    Raises :class:`~repro.sim.errors.SimulationError` if the trace
+    overflowed its capacity: a truncated log cannot be trusted as a
+    fault history (the missing tail may well contain injections), and
+    diffing it against a replay would produce spurious matches.
+    """
+    if trace.truncated:
+        raise SimulationError(
+            f"fault history requested from a truncated trace "
+            f"({trace.dropped} events dropped at capacity "
+            f"{trace.capacity}); raise the capacity or use an "
+            f"unbounded Trace()"
+        )
     return trace.with_prefix("fault.")
 
 

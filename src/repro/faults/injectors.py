@@ -53,6 +53,11 @@ class FaultySlave(Component, BusSlave):
         self._events = plan.at_site(site)
         self._access = -1
 
+    def next_activity(self):
+        # purely reactive: everything happens inside bus data-path
+        # calls, never in a tick of its own
+        return None
+
     # -- timing path --------------------------------------------------------
     def latency_for(self, offset: int, count: int) -> int:
         self._access += 1
@@ -199,6 +204,12 @@ class MicrocodeCorruptor(Component):
             if e.kind is FaultKind.CORRUPT_MICROCODE
         ]
 
+    def next_activity(self):
+        if not self._pending:
+            return None
+        # sleep until the earliest scheduled corruption cycle
+        return min(max(e.index, self.now) for e in self._pending)
+
     def tick(self) -> None:
         if not self._pending:
             return
@@ -252,6 +263,38 @@ class ExecHang(Component):
                     )
                 return True
         return False
+
+    def next_activity(self):
+        """Sleep between window boundaries.
+
+        Within an open window the suppression itself reacts to
+        ``end_op``, which only the RAC's tick can raise -- the global
+        quiescence rule covers that.  The observable moments are the
+        window edges: the opening tick announces the fault (a trace
+        event), the closing tick re-asserts a suppressed completion.
+        """
+        now = self.now
+        wake = None
+        in_window = False
+        for event in self._events:
+            if now < event.index:
+                edge = event.index  # window opens (announce + suppress)
+            elif event.duration == 0 or now < event.index + event.duration:
+                in_window = True
+                if id(event) not in self._announced:
+                    return now  # open but not yet announced: tick now
+                if self.rac.end_op:
+                    return now  # a completion is waiting to be eaten
+                if event.duration == 0:
+                    continue  # forever-window: no closing edge
+                edge = event.index + event.duration  # window closes
+            else:
+                continue  # window already behind us
+            if wake is None or edge < wake:
+                wake = edge
+        if self._suppressed and not in_window:
+            return now  # the re-assert of end_op is due this cycle
+        return wake
 
     def tick(self) -> None:
         if self._active():

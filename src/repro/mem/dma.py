@@ -132,6 +132,13 @@ class DMAEngine(Component, BusSlave):
             self.irq.assert_()
         self.trace_event("done")
 
+    def next_activity(self):
+        if self._state is _State.IDLE or self.bus is None:
+            return None  # woken by a CTRL write (a bus-master action)
+        if self._transfer is not None and not self._transfer.done:
+            return None  # the bus completion wakes the system
+        return self.now  # ready to consume a completion / issue a burst
+
     def tick(self) -> None:
         if self._state is _State.IDLE or self.bus is None:
             return

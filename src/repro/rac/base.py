@@ -183,6 +183,35 @@ class StreamingRAC(RAC):
         self._to_emit = []
         self._emitted = []
 
+    # -- quiescence protocol -------------------------------------------------
+    def next_activity(self):
+        if self._phase is _Phase.DONE:
+            if self.autostart and any(not f.empty for f in self.inputs):
+                return self.now
+            return None  # woken by data arriving or by start_op
+        if self._phase is _Phase.COLLECT:
+            complete = True
+            for port, fifo in enumerate(self.inputs):
+                if len(self._collected[port]) < self.items_in[port]:
+                    complete = False
+                    if fifo.occupancy > 0:
+                        return self.now  # words to take this cycle
+            # complete: the transition to COMPUTE is due this cycle;
+            # otherwise starved until a FIFO fills
+            return self.now if complete else None
+        if self._phase is _Phase.COMPUTE:
+            # pure pipeline-latency burn-down; compute fires at expiry
+            return self.now + self._compute_timer
+        # EMIT: progress whenever any unfinished port has FIFO space
+        for port, fifo in enumerate(self.outputs):
+            if self._emitted[port] < self.items_out[port] and fifo.can_push():
+                return self.now
+        return None  # all remaining output FIFOs are full
+
+    def on_skip(self, cycles: int) -> None:
+        if self._phase is _Phase.COMPUTE:
+            self._compute_timer -= cycles
+
     # -- per-cycle behaviour -----------------------------------------------
     def tick(self) -> None:
         if self._phase is _Phase.DONE:

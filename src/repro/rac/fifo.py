@@ -140,6 +140,12 @@ class FIFO(Component):
         return self.pop_many(self.occupancy)
 
     # -- clocked behaviour ------------------------------------------------
+    def next_activity(self):
+        # a FIFO acts only in commit, and only when a push staged data
+        # this cycle; with nothing staged it is idle until some other
+        # component pushes (which makes that component active anyway)
+        return self.now if self._staged else None
+
     def commit(self) -> None:
         if self._staged:
             self._atoms.extend(self._staged)

@@ -17,11 +17,34 @@ cycle-approximate style used by architecture simulators, which is the
 right fidelity level for reproducing the paper's cycle counts (bus beats,
 FIFO occupancy, controller FSM states) without modelling individual
 wires.
+
+Idle skipping
+-------------
+
+Long waits dominate many workloads (a DFT's ``exec_wait``, SDRAM
+latency, driver backoff windows): every component is stalled, yet the
+naive stepper still pays two Python calls per component per cycle.
+Components may therefore declare *quiescence* through
+:meth:`Component.next_activity`: "my ``tick``/``commit`` are observable
+no-ops until cycle N (or until another component acts)".  When every
+registered component is quiescent, :meth:`Simulator.step` and
+:meth:`Simulator.run_until` fast-forward the clock to the earliest
+declared wake-up instead of ticking through the gap, giving each
+component the chance to reconcile its internal cycle counters via
+:meth:`Component.on_skip` so statistics stay bit-identical with the
+naive schedule.
+
+The protocol and its correctness rules are documented in
+``docs/SIMULATION.md``; ``Simulator(strict=True)`` cross-checks every
+declared-idle window by running the naive stepper through it and
+asserting that nothing observable happened.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional
 
 from .errors import DeadlockError, SimulationError
 from .tracing import Trace
@@ -31,17 +54,26 @@ class Component:
     """Base class for everything that lives on the simulated clock.
 
     Subclasses override :meth:`tick` (compute phase) and optionally
-    :meth:`commit` (publish phase) and :meth:`reset`.
+    :meth:`commit` (publish phase) and :meth:`reset`.  Components that
+    can stall override :meth:`next_activity` (and, when they keep
+    per-cycle counters, :meth:`on_skip`) to take part in idle skipping.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.sim: Optional["Simulator"] = None
+        self._detached = False
 
     # -- lifecycle -----------------------------------------------------
     def attach(self, sim: "Simulator") -> None:
         """Called by the simulator when the component is registered."""
         self.sim = sim
+        self._detached = False
+
+    def detach(self) -> None:
+        """Called by the simulator when the component is removed."""
+        self.sim = None
+        self._detached = True
 
     def reset(self) -> None:
         """Return the component to its power-on state."""
@@ -53,11 +85,58 @@ class Component:
     def commit(self) -> None:
         """Publish phase: runs once per cycle after every tick."""
 
+    # -- quiescence protocol ------------------------------------------
+    def next_activity(self) -> Optional[int]:
+        """Earliest future cycle at which this component must tick.
+
+        Return values (see ``docs/SIMULATION.md`` for the full
+        contract):
+
+        * any cycle ``<= self.now`` -- *active*: the component needs
+          its tick this cycle; no skipping may happen.
+        * a cycle ``N > self.now`` -- quiescent until ``N``: every
+          tick/commit strictly before ``N`` is an observable no-op
+          (no trace events, no cross-component effects) provided no
+          *other* component acts either.
+        * ``None`` -- indefinitely idle: only an external poke (another
+          component's activity, a register write between steps) can
+          make its ticks matter again.
+
+        The base implementation returns ``self.now`` (always active),
+        which is the safe default for components the kernel knows
+        nothing about.
+        """
+        return self.now
+
+    def on_skip(self, cycles: int) -> None:
+        """Reconcile internal per-cycle counters after a skipped gap.
+
+        Called with the number of fast-forwarded cycles whenever the
+        simulator jumps over a window this component declared idle.
+        Implementations must apply exactly the state changes ``cycles``
+        consecutive no-op ticks would have applied (stat counters,
+        wait-timer decrements) -- nothing observable.
+        """
+
     # -- helpers -------------------------------------------------------
     @property
     def now(self) -> int:
-        """Current cycle number (0 before the first step)."""
-        return self.sim.cycle if self.sim is not None else 0
+        """Current cycle number (0 before the first attach).
+
+        Raises :class:`SimulationError` on a component that was removed
+        from its simulator: a detached component has no clock, and
+        silently timestamping events or stats at cycle 0 hides
+        use-after-remove bugs (the partial-reconfiguration path swaps
+        whole FIFO fabrics out of the system).
+        """
+        if self.sim is None:
+            if self._detached:
+                raise SimulationError(
+                    f"component {self.name!r} was removed from its "
+                    "simulator; 'now' is undefined after detach"
+                )
+            return 0
+        return self.sim.cycle
 
     def trace_event(self, event: str, **data: object) -> None:
         """Record an event in the simulator trace, if tracing is on."""
@@ -72,6 +151,61 @@ class Component:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+@dataclass
+class ComponentProfile:
+    """Per-component slice of :meth:`Simulator.profile`."""
+
+    name: str
+    ticks: int = 0
+    time_s: float = 0.0
+
+
+@dataclass
+class SimProfile:
+    """Cycle accounting of one :class:`Simulator`'s execution.
+
+    ``ticked`` counts cycles executed through the naive two-phase
+    schedule, ``skipped`` counts cycles fast-forwarded over declared
+    idle windows; the two always sum to ``cycles``.  ``components`` is
+    populated with per-component tick counts and host-time attribution
+    when the simulator was built with ``profile_time=True`` (the
+    instrumented loop costs two clock reads per component per cycle,
+    so it is off by default).
+    """
+
+    cycles: int
+    ticked: int
+    skipped: int
+    skip_windows: int
+    components: Dict[str, ComponentProfile] = field(default_factory=dict)
+
+    @property
+    def skip_ratio(self) -> float:
+        """Fraction of simulated cycles that were fast-forwarded."""
+        return self.skipped / self.cycles if self.cycles else 0.0
+
+    def render(self) -> str:
+        lines = [
+            f"cycles          {self.cycles:>10}",
+            f"  ticked        {self.ticked:>10}",
+            f"  skipped       {self.skipped:>10} "
+            f"({100 * self.skip_ratio:.1f}% in {self.skip_windows} windows)",
+        ]
+        if self.components:
+            total = sum(p.time_s for p in self.components.values())
+            lines.append("host time attribution:")
+            ranked = sorted(
+                self.components.values(), key=lambda p: -p.time_s
+            )
+            for prof in ranked:
+                share = prof.time_s / total if total else 0.0
+                lines.append(
+                    f"  {prof.name:<20} {prof.ticks:>10} ticks "
+                    f"{1e3 * prof.time_s:>9.2f} ms ({100 * share:.1f}%)"
+                )
+        return "\n".join(lines)
+
+
 class Simulator:
     """Owns the clock and the component list.
 
@@ -79,15 +213,48 @@ class Simulator:
     ----------
     trace:
         Optional :class:`repro.sim.tracing.Trace` collecting events.
+    idle_skip:
+        Enable the quiescence fast path (default True).  With it off
+        the kernel is the plain two-phase stepper; results must be
+        bit-identical either way.
+    strict:
+        Paranoia mode: every declared-idle window is executed through
+        the naive stepper as well, asserting that no component emitted
+        a trace event or woke earlier than declared.  Used by the
+        equivalence tests; costs naive speed plus the checks.
+    profile_time:
+        Attribute host wall-clock time to individual components (see
+        :meth:`profile`).  Slows the naive loop down; off by default.
     """
 
-    def __init__(self, trace: Optional[Trace] = None) -> None:
+    #: predicate re-check granularity inside a declared-idle window --
+    #: bounds how far ``run_until`` trusts quiescence between predicate
+    #: evaluations (predicates must be component-state functions, but a
+    #: bounded chunk keeps even a misused clock-reading predicate from
+    #: overshooting by more than one chunk)
+    max_skip_chunk = 1 << 14
+
+    def __init__(
+        self,
+        trace: Optional[Trace] = None,
+        idle_skip: bool = True,
+        strict: bool = False,
+        profile_time: bool = False,
+    ) -> None:
         self.cycle = 0
         self.trace = trace
+        self.idle_skip = idle_skip
+        self.strict = strict
+        self.profile_time = profile_time
         #: name of the component that most recently emitted an event
         self.last_active: Optional[str] = None
         self._components: List[Component] = []
         self._names = set()
+        # accounting for profile()
+        self._ticked = 0
+        self._skipped = 0
+        self._skip_windows = 0
+        self._profiles: Dict[str, ComponentProfile] = {}
 
     # -- registration ----------------------------------------------------
     def add(self, component: Component) -> Component:
@@ -106,10 +273,25 @@ class Simulator:
             self.add(component)
 
     def remove(self, component: Component) -> None:
-        """Unregister a component (used by partial reconfiguration)."""
+        """Unregister a component (used by partial reconfiguration).
+
+        Raises
+        ------
+        SimulationError
+            If the component is not registered with this simulator.
+        """
+        if component not in self._components:
+            raise SimulationError(
+                f"cannot remove {component.name!r}: not registered "
+                "with this simulator"
+            )
         self._components.remove(component)
         self._names.discard(component.name)
-        component.sim = None
+        if self.last_active == component.name:
+            # never let DeadlockError diagnostics name a component
+            # that is no longer in the system
+            self.last_active = None
+        component.detach()
 
     @property
     def components(self) -> List[Component]:
@@ -123,19 +305,111 @@ class Simulator:
 
     # -- execution ---------------------------------------------------------
     def reset(self) -> None:
-        """Reset the clock and every component."""
+        """Reset the clock, the profile counters and every component."""
         self.cycle = 0
+        self._ticked = 0
+        self._skipped = 0
+        self._skip_windows = 0
+        self._profiles = {}
         for comp in self._components:
             comp.reset()
 
-    def step(self, cycles: int = 1) -> None:
-        """Advance the clock by ``cycles`` cycles."""
-        for _ in range(cycles):
+    def _tick_all(self) -> None:
+        """One naive two-phase cycle."""
+        if self.profile_time:
+            profiles = self._profiles
+            for comp in self._components:
+                prof = profiles.get(comp.name)
+                if prof is None:
+                    prof = profiles[comp.name] = ComponentProfile(comp.name)
+                begin = perf_counter()
+                comp.tick()
+                prof.time_s += perf_counter() - begin
+                prof.ticks += 1
+            for comp in self._components:
+                begin = perf_counter()
+                comp.commit()
+                profiles[comp.name].time_s += perf_counter() - begin
+        else:
             for comp in self._components:
                 comp.tick()
             for comp in self._components:
                 comp.commit()
-            self.cycle += 1
+        self.cycle += 1
+        self._ticked += 1
+
+    def _wake_cycle(self) -> Optional[int]:
+        """Earliest cycle any component needs; ``self.cycle`` = active.
+
+        Returns ``None`` when every component is indefinitely idle
+        (only a deadlock bound or the caller's step target can end the
+        wait).
+        """
+        wake: Optional[int] = None
+        now = self.cycle
+        for comp in self._components:
+            target = comp.next_activity()
+            if target is None:
+                continue
+            if target <= now:
+                return now
+            if wake is None or target < wake:
+                wake = target
+        return wake
+
+    def _skip(self, cycles: int) -> None:
+        """Fast-forward over a window every component declared idle."""
+        if self.strict:
+            self._skip_checked(cycles)
+            return
+        for comp in self._components:
+            comp.on_skip(cycles)
+        self.cycle += cycles
+        self._skipped += cycles
+        self._skip_windows += 1
+
+    def _skip_checked(self, cycles: int) -> None:
+        """Strict mode: tick naively through the window and assert that
+        the quiescence claims held (no events, no early wake-ups)."""
+        events_before = len(self.trace) if self.trace is not None else None
+        last_before = self.last_active
+        for offset in range(cycles):
+            wake = self._wake_cycle()
+            if wake is not None and wake <= self.cycle:
+                raise SimulationError(
+                    f"strict idle-skip: a component turned active at "
+                    f"cycle {self.cycle}, {offset} cycles into a "
+                    f"{cycles}-cycle declared-idle window"
+                )
+            self._tick_all()
+        if events_before is not None and len(self.trace) != events_before:
+            culprit = self.trace.dump().splitlines()[events_before]
+            raise SimulationError(
+                "strict idle-skip: trace events emitted during a "
+                f"declared-idle window (first: {culprit!r})"
+            )
+        if self.last_active != last_before:
+            raise SimulationError(
+                f"strict idle-skip: component {self.last_active!r} was "
+                "active during a declared-idle window"
+            )
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the clock by ``cycles`` cycles."""
+        target = self.cycle + cycles
+        if not self.idle_skip:
+            while self.cycle < target:
+                self._tick_all()
+            return
+        while self.cycle < target:
+            wake = self._wake_cycle()
+            if wake is None:
+                self._skip(target - self.cycle)
+                return
+            if wake > self.cycle:
+                self._skip(min(wake, target) - self.cycle)
+                continue
+            self._tick_all()
 
     def run_until(
         self,
@@ -145,19 +419,51 @@ class Simulator:
     ) -> int:
         """Step until ``predicate()`` is true; return elapsed cycles.
 
+        The predicate must be a function of component state (not of the
+        raw clock): during a declared-idle window no component state
+        changes, so the kernel re-evaluates it only at wake-ups and
+        every :attr:`max_skip_chunk` cycles.
+
         Raises
         ------
         DeadlockError
             If the predicate is still false after ``max_cycles`` steps.
         """
         start = self.cycle
+        deadline = start + max_cycles
         while not predicate():
-            if self.cycle - start >= max_cycles:
+            if self.cycle >= deadline:
                 last = self.last_active or "<none>"
                 raise DeadlockError(
                     f"{what} not reached within {max_cycles} cycles "
                     f"(stuck at cycle {self.cycle}, last active "
                     f"component: {last})"
                 )
-            self.step()
+            if self.idle_skip:
+                wake = self._wake_cycle()
+                bound = min(deadline, self.cycle + self.max_skip_chunk)
+                target = bound if wake is None else min(wake, bound)
+                if target > self.cycle:
+                    self._skip(target - self.cycle)
+                    continue
+            self._tick_all()
         return self.cycle - start
+
+    # -- introspection ----------------------------------------------------
+    def profile(self) -> SimProfile:
+        """Cycle accounting: ticked vs skipped cycles, time attribution.
+
+        Cheap counters (ticked/skipped/windows) are always maintained;
+        per-component tick counts and host-time shares require
+        ``profile_time=True``.
+        """
+        return SimProfile(
+            cycles=self.cycle,
+            ticked=self._ticked,
+            skipped=self._skipped,
+            skip_windows=self._skip_windows,
+            components={
+                name: ComponentProfile(prof.name, prof.ticks, prof.time_s)
+                for name, prof in self._profiles.items()
+            },
+        )

@@ -35,16 +35,34 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only event log with simple query helpers."""
+    """Append-only event log with simple query helpers.
+
+    A bounded trace (``capacity=N``) stops storing events once full, but
+    it never *silently* loses history: every rejected event bumps
+    :attr:`dropped`, and :attr:`truncated` tells consumers the log they
+    are about to analyse is incomplete.  Anything that treats the trace
+    as a record (the run profiler, fault-history diffing) must check it.
+    """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         self._events: List[TraceEvent] = []
         self._capacity = capacity
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def truncated(self) -> bool:
+        """True if at least one event was rejected for lack of space."""
+        return self.dropped > 0
 
     def record(
         self, cycle: int, component: str, event: str, data: Dict[str, object]
     ) -> None:
         if self._capacity is not None and len(self._events) >= self._capacity:
+            self.dropped += 1
             return
         self._events.append(TraceEvent(cycle, component, event, dict(data)))
 

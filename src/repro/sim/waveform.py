@@ -45,6 +45,12 @@ class WaveformProbe(Component):
             vcd.register(signal_name, width=width_hint)
         self.samples = 0
 
+    def next_activity(self):
+        # a probe must observe every cycle: registering one disables
+        # idle skipping for the whole simulator, which is exactly what
+        # a waveform capture wants (no gaps in the dump)
+        return self.now
+
     def tick(self) -> None:
         for signal_name, fn in self.signals.items():
             self.vcd.change(self.now, signal_name, int(fn()))

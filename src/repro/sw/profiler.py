@@ -9,6 +9,7 @@ bus and FIFO statistics into one structured breakdown.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -32,6 +33,16 @@ class RunProfile:
     bus_utilization: float = 0.0
     max_fifo_in_atoms: int = 0
     max_fifo_out_atoms: int = 0
+    kernel_ticked: int = 0
+    kernel_skipped: int = 0
+    kernel_skip_windows: int = 0
+    trace_dropped: int = 0
+
+    @property
+    def kernel_skip_ratio(self) -> float:
+        """Fraction of simulated cycles the kernel fast-forwarded."""
+        total = self.kernel_ticked + self.kernel_skipped
+        return self.kernel_skipped / total if total else 0.0
 
     @property
     def words_total(self) -> int:
@@ -77,6 +88,17 @@ class RunProfile:
             f"fifo stalls     {self.fifo_stall_cycles:>8} cycles",
             f"bus utilization {100 * self.bus_utilization:>7.1f} %",
         ])
+        if self.kernel_skipped:
+            lines.append(
+                f"kernel skipped  {self.kernel_skipped:>8} cycles "
+                f"({100 * self.kernel_skip_ratio:.1f} % of "
+                f"{self.kernel_ticked + self.kernel_skipped}, "
+                f"{self.kernel_skip_windows} windows)"
+            )
+        if self.trace_dropped:
+            lines.append(
+                f"TRACE TRUNCATED {self.trace_dropped:>8} events dropped"
+            )
         return "\n".join(lines)
 
 
@@ -89,6 +111,17 @@ def profile_run(
     statistics of the OCP and bus (so profile one run per system, or
     diff the counters yourself for repeated runs).
     """
+    trace = soc.sim.trace
+    dropped = trace.dropped if trace is not None else 0
+    if dropped:
+        warnings.warn(
+            f"profiling a run whose trace dropped {dropped} events at "
+            f"capacity {trace.capacity}; event-derived figures are "
+            f"incomplete",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    kernel = soc.sim.profile()
     ocp = soc.ocps[ocp_index]
     stats = ocp.controller.stats
     states = {
@@ -117,4 +150,8 @@ def profile_run(
         bus_utilization=soc.bus.utilization(),
         max_fifo_in_atoms=max_in,
         max_fifo_out_atoms=max_out,
+        kernel_ticked=kernel.ticked,
+        kernel_skipped=kernel.skipped,
+        kernel_skip_windows=kernel.skip_windows,
+        trace_dropped=dropped,
     )

@@ -86,8 +86,16 @@ class SoC:
         cost_model: Optional[CostModel] = None,
         trace: Optional[Trace] = None,
         memory: Optional[Memory] = None,
+        idle_skip: bool = True,
+        strict: bool = False,
+        profile_time: bool = False,
     ) -> None:
-        self.sim = Simulator(trace=trace)
+        self.sim = Simulator(
+            trace=trace,
+            idle_skip=idle_skip,
+            strict=strict,
+            profile_time=profile_time,
+        )
         self.bus = SystemBus("bus", protocol=protocol)
         self.sim.add(self.bus)
         # main memory is injectable (e.g. an SDRAM open-row model)

@@ -1,0 +1,335 @@
+"""Idle-skip kernel: unit tests and naive-vs-fast equivalence.
+
+The fast path is only allowed to exist because it is invisible: with
+``idle_skip=True`` every observable -- memory contents, trace events
+(including their cycle stamps), final cycle counts, per-component
+statistics -- must be bit-identical to the naive two-phase stepper.
+The first half of this file unit-tests the kernel mechanics (wake
+computation, chunked predicate re-checks, strict mode, profiling); the
+second half property-tests whole-SoC equivalence on the seeded random
+workloads of the differential harness, clean and under injected stall
+faults.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.faults import FaultPlan, inject_faults
+from repro.sim import (
+    Component,
+    DeadlockError,
+    SimulationError,
+    Simulator,
+    Trace,
+)
+from repro.system import SoC
+
+from tests.test_differential_refmodel import (
+    IN,
+    OUT,
+    PROG,
+    SEED_BASE,
+    Case,
+)
+from repro.core.registers import (
+    CTRL_IE,
+    CTRL_S,
+    REG_BANK_BASE,
+    REG_CTRL,
+    REG_PROG_SIZE,
+)
+
+N_EQUIVALENCE = 60
+N_STRICT = 8
+
+
+# -- unit-test components ---------------------------------------------------
+
+class Sleeper(Component):
+    """Does one unit of work every ``period`` cycles, ``limit`` times.
+
+    Between wakes it is honestly quiescent, so it exercises the whole
+    declare/skip/wake cycle of the protocol.
+    """
+
+    def __init__(self, name="sleeper", period=100, limit=3):
+        super().__init__(name)
+        self.period = period
+        self.limit = limit
+        self.wakes = []
+        self._due = 0
+
+    def next_activity(self):
+        if len(self.wakes) >= self.limit:
+            return None
+        return max(self._due, self.now)
+
+    def tick(self):
+        if len(self.wakes) >= self.limit or self.now < self._due:
+            return
+        self.wakes.append(self.now)
+        self.trace_event("wake", n=len(self.wakes))
+        self._due = self.now + self.period
+
+
+class Liar(Component):
+    """Claims indefinite idleness but emits an event every cycle."""
+
+    def next_activity(self):
+        return None
+
+    def tick(self):
+        self.trace_event("sneaky")
+
+
+class Fickle(Component):
+    """Declares a far wake-up, then claims to be active mid-window."""
+
+    def __init__(self):
+        super().__init__("fickle")
+        self._polls = 0
+
+    def next_activity(self):
+        self._polls += 1
+        return self.now + 50 if self._polls == 1 else self.now
+
+
+# -- kernel unit tests ------------------------------------------------------
+
+def _sleeper_run(idle_skip, cycles=350):
+    sim = Simulator(trace=Trace(), idle_skip=idle_skip)
+    sleeper = sim.add(Sleeper())
+    sim.step(cycles)
+    return sim, sleeper
+
+
+def test_skip_is_invisible_to_component_behavior():
+    naive_sim, naive = _sleeper_run(idle_skip=False)
+    fast_sim, fast = _sleeper_run(idle_skip=True)
+    assert fast.wakes == naive.wakes == [0, 100, 200]
+    assert fast_sim.cycle == naive_sim.cycle == 350
+    assert fast_sim.trace.dump() == naive_sim.trace.dump()
+
+
+def test_profile_accounts_ticked_and_skipped():
+    naive_sim, _ = _sleeper_run(idle_skip=False)
+    fast_sim, _ = _sleeper_run(idle_skip=True)
+    naive_prof = naive_sim.profile()
+    fast_prof = fast_sim.profile()
+    assert naive_prof.skipped == 0
+    assert naive_prof.ticked == naive_prof.cycles == 350
+    assert fast_prof.ticked + fast_prof.skipped == fast_prof.cycles == 350
+    # only the three wake cycles need real ticks
+    assert fast_prof.ticked == 3
+    assert fast_prof.skip_windows == 3
+    assert fast_prof.skip_ratio == pytest.approx(347 / 350)
+    assert "skipped" in fast_prof.render()
+
+
+def test_step_stops_exactly_at_target_mid_window():
+    sim = Simulator()
+    sim.add(Sleeper(period=100))
+    sim.step(50)  # target falls inside a declared-idle window
+    assert sim.cycle == 50
+
+
+def test_run_until_wakes_exactly_on_predicate_state_change():
+    sim = Simulator(idle_skip=True)
+    sleeper = sim.add(Sleeper(period=100))
+    elapsed = sim.run_until(lambda: len(sleeper.wakes) == 3)
+    # third wake happens at cycle 200; the tick completes it at 201
+    assert elapsed == 201
+    assert sim.profile().skipped > 0
+
+
+def test_run_until_deadlock_identical_between_modes():
+    messages = []
+    for idle_skip in (False, True):
+        sim = Simulator(idle_skip=idle_skip)
+        sim.add(Sleeper(period=100, limit=1))
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run_until(lambda: False, max_cycles=777, what="nothing")
+        messages.append(str(excinfo.value))
+        assert sim.cycle == 777
+    assert messages[0] == messages[1]
+
+
+def test_run_until_rechecks_predicate_in_bounded_chunks():
+    sim = Simulator(idle_skip=True)
+    sim.add(Sleeper(limit=0))  # idle forever from cycle 0
+    calls = []
+
+    def predicate():
+        calls.append(sim.cycle)
+        return sim.cycle >= 40_000
+
+    sim.run_until(predicate, max_cycles=1_000_000)
+    # a clock-reading predicate may overshoot, but never by more than
+    # one chunk -- and it is re-evaluated sparsely, not every cycle
+    assert sim.cycle < 40_000 + sim.max_skip_chunk
+    assert len(calls) <= 40_000 // sim.max_skip_chunk + 2
+
+
+def test_strict_mode_passes_honest_components():
+    sim = Simulator(trace=Trace(), idle_skip=True, strict=True)
+    sleeper = sim.add(Sleeper())
+    sim.step(350)
+    assert sleeper.wakes == [0, 100, 200]
+
+
+def test_strict_mode_catches_event_during_declared_idle():
+    sim = Simulator(trace=Trace(), idle_skip=True, strict=True)
+    sim.add(Liar("liar"))
+    with pytest.raises(SimulationError, match="declared-idle window"):
+        sim.step(10)
+
+
+def test_strict_mode_catches_early_wake():
+    sim = Simulator(idle_skip=True, strict=True)
+    sim.add(Fickle())
+    with pytest.raises(SimulationError, match="turned active"):
+        sim.step(50)
+
+
+def test_profile_time_attributes_host_time_per_component():
+    sim = Simulator(idle_skip=False, profile_time=True)
+
+    class Busy(Component):
+        def tick(self):
+            pass
+
+    sim.add(Busy("busy"))
+    sim.step(10)
+    prof = sim.profile()
+    assert prof.components["busy"].ticks == 10
+    assert prof.components["busy"].time_s >= 0.0
+    assert "busy" in prof.render()
+
+
+def test_waveform_probe_disables_skipping():
+    from repro.sim import VCDWriter, WaveformProbe
+
+    sim = Simulator(idle_skip=True)
+    sleeper = sim.add(Sleeper())
+    vcd = VCDWriter()
+    sim.add(WaveformProbe("probe", vcd, {"wakes": lambda: len(sleeper.wakes)}))
+    sim.step(250)
+    prof = sim.profile()
+    assert prof.skipped == 0
+    assert prof.ticked == 250  # every cycle sampled: gap-free dump
+
+
+def test_default_component_is_always_active():
+    """Unknown components must never be skipped over."""
+    sim = Simulator(idle_skip=True)
+
+    class Legacy(Component):
+        ticks = 0
+
+        def tick(self):
+            Legacy.ticks += 1
+
+    sim.add(Legacy("legacy"))
+    sim.add(Sleeper())
+    sim.step(120)
+    assert Legacy.ticks == 120
+    assert sim.profile().skipped == 0
+
+
+# -- whole-SoC equivalence (property-style, seeded) -------------------------
+
+def _run_case(case, idle_skip, plan=None, strict=False):
+    """Run one differential-harness workload; capture all observables."""
+    trace = Trace()
+    soc = SoC(racs=[case.rac()], trace=trace, idle_skip=idle_skip,
+              strict=strict)
+    if plan is not None:
+        inject_faults(soc, plan)
+    soc.write_ram(IN, case.inputs)
+    soc.write_ram(PROG, case.program.words())
+    ocp = soc.ocp
+    for bank, base in {0: PROG, 1: IN, 2: OUT}.items():
+        ocp.interface.write_word(REG_BANK_BASE + 4 * bank, base)
+    ocp.interface.write_word(REG_PROG_SIZE, len(case.program))
+    ocp.interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    soc.run_until(lambda: ocp.done, max_cycles=500_000)
+    previous = -1
+    while ocp.fifos_out[0].occupancy != previous:
+        previous = ocp.fifos_out[0].occupancy
+        soc.sim.step(50)
+    return {
+        "memory": soc.read_ram(OUT, case.total),
+        "residual": previous,
+        "cycle": soc.sim.cycle,
+        "trace": trace.dump(),
+        "controller_stats": ocp.controller.stats.as_dict(),
+        "bus_stats": soc.bus.stats.as_dict(),
+    }, soc.sim.profile()
+
+
+@pytest.mark.parametrize("index", range(N_EQUIVALENCE))
+def test_equivalence_random_workloads(index):
+    """Same seeded SoC workload, naive vs idle-skip, clean and faulted:
+    memory, residuals, traces, cycle counts and statistics all equal."""
+    seed = SEED_BASE + 100_000 + index
+    rng = random.Random(seed)
+    case = Case(rng)
+
+    naive, naive_prof = _run_case(case, idle_skip=False)
+    fast, fast_prof = _run_case(case, idle_skip=True)
+    assert fast == naive, f"idle-skip diverged at seed {seed}"
+    assert naive_prof.skipped == 0
+    assert fast_prof.ticked + fast_prof.skipped == fast_prof.cycles
+
+    plan = FaultPlan.random_stalls(
+        seed, n_events=rng.randint(1, 4), sites=("ram",), max_index=6,
+        max_stall=25,
+    )
+    naive_faulted, _ = _run_case(case, idle_skip=False, plan=plan)
+    fast_faulted, _ = _run_case(case, idle_skip=True, plan=plan)
+    assert fast_faulted == naive_faulted, (
+        f"idle-skip diverged under stall faults at seed {seed}"
+    )
+    # when a stall actually fired (short programs can finish before the
+    # scheduled access index), the cycle count must have moved with it
+    if "fault.stall" in naive_faulted["trace"]:
+        assert naive_faulted["cycle"] != naive["cycle"]
+
+
+@pytest.mark.parametrize("index", range(N_STRICT))
+def test_equivalence_strict_mode_audits_idle_claims(index):
+    """strict=True re-executes every declared-idle window naively and
+    asserts the quiescence claims held -- on real SoC workloads."""
+    seed = SEED_BASE + 200_000 + index
+    case = Case(random.Random(seed))
+    naive, _ = _run_case(case, idle_skip=False)
+    strict, _ = _run_case(case, idle_skip=True, strict=True)
+    assert strict == naive, f"strict-mode divergence at seed {seed}"
+
+
+def test_profiler_surfaces_kernel_and_truncation_counters():
+    """profile_run carries skip accounting and warns on truncated
+    traces (satellite: no silent analysis of incomplete logs)."""
+    from repro.core.program import OuProgram
+    from repro.rac.scale import PassthroughRac
+    from repro.sw.driver import OuessantDriver
+    from repro.sw.profiler import profile_run
+
+    trace = Trace(capacity=5)  # deliberately far too small
+    soc = SoC(racs=[PassthroughRac(block_size=4)], trace=trace)
+    program = (OuProgram().stream_to(1, 4).execs()
+               .stream_from(2, 4).eop())
+    soc.write_ram(IN, [1, 2, 3, 4])
+    driver = OuessantDriver(soc)
+    result = driver.run(program.words(), banks={0: PROG, 1: IN, 2: OUT})
+    assert trace.truncated
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        profile = profile_run(soc, result)
+    assert any("dropped" in str(w.message) for w in caught)
+    assert profile.trace_dropped == trace.dropped
+    assert profile.kernel_skipped == soc.sim.profile().skipped
+    assert profile.kernel_ticked + profile.kernel_skipped == soc.sim.cycle
+    assert "TRACE TRUNCATED" in profile.render()

@@ -154,3 +154,75 @@ def test_trace_events_recorded():
 def test_component_now_without_sim_is_zero():
     lone = Counter()
     assert lone.now == 0
+
+
+def test_remove_unregistered_component_raises_simulation_error():
+    sim = Simulator()
+    stranger = Counter("stranger")
+    with pytest.raises(SimulationError, match="not registered"):
+        sim.remove(stranger)
+    # a never-attached component keeps the benign sentinel clock
+    assert stranger.now == 0
+
+
+def test_remove_twice_raises():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.remove(counter)
+    with pytest.raises(SimulationError, match="not registered"):
+        sim.remove(counter)
+
+
+def test_now_after_detach_raises():
+    """Use-after-remove must fail loudly, not timestamp at cycle 0."""
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.step(3)
+    sim.remove(counter)
+    with pytest.raises(SimulationError, match="removed from its simulator"):
+        counter.now
+
+
+def test_reattach_after_remove_restores_clock():
+    sim = Simulator()
+    counter = sim.add(Counter())
+    sim.step(2)
+    sim.remove(counter)
+    sim.add(counter)
+    assert counter.now == 2
+
+
+def test_remove_clears_stale_last_active():
+    """Deadlock diagnostics must never name a removed component."""
+    sim = Simulator(trace=Trace())
+
+    class Chatty(Component):
+        def tick(self):
+            self.trace_event("busy")
+
+    chatty = sim.add(Chatty("chatty"))
+    sim.step(2)
+    assert sim.last_active == "chatty"
+    sim.remove(chatty)
+    assert sim.last_active is None
+    with pytest.raises(DeadlockError, match="last active component: <none>"):
+        sim.run_until(lambda: False, max_cycles=5)
+
+
+def test_partial_reconfiguration_swap_rac_detaches_cleanly():
+    """The DPR path removes a whole fabric; the swap must leave no
+    stale clock references and the new fabric must still run."""
+    from repro.rac.scale import PassthroughRac, ScaleRac
+    from repro.system import SoC
+
+    soc = SoC(racs=[PassthroughRac(block_size=4)])
+    old = soc.ocp.rac
+    old_fifos = list(soc.ocp.fifos_in) + list(soc.ocp.fifos_out)
+    soc.sim.step(3)
+    soc.ocp.swap_rac(ScaleRac(block_size=4, factor=2))
+    for stale in [old] + old_fifos:
+        with pytest.raises(SimulationError):
+            stale.now
+    # the reconfigured system still advances
+    soc.sim.step(5)
+    assert soc.ocp.rac.now == 8

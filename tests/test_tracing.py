@@ -10,6 +10,49 @@ def test_trace_capacity_limits_recording():
     assert len(trace) == 2
 
 
+def test_trace_counts_dropped_events_and_reports_truncation():
+    trace = Trace(capacity=2)
+    assert not trace.truncated and trace.dropped == 0
+    for i in range(5):
+        trace.record(i, "c", "e", {})
+    assert trace.dropped == 3
+    assert trace.truncated
+    assert trace.capacity == 2
+
+
+def test_unbounded_trace_never_truncates():
+    trace = Trace()
+    for i in range(100):
+        trace.record(i, "c", "e", {})
+    assert trace.dropped == 0
+    assert not trace.truncated
+    assert trace.capacity is None
+
+
+def test_fault_history_refuses_truncated_trace():
+    import pytest
+
+    from repro.faults.harness import fault_history, fault_signature
+    from repro.sim.errors import SimulationError
+
+    trace = Trace(capacity=1)
+    trace.record(0, "faults.ram", "fault.stall", {})
+    trace.record(1, "faults.ram", "fault.stall", {})  # dropped
+    with pytest.raises(SimulationError, match="truncated"):
+        fault_history(trace)
+    with pytest.raises(SimulationError, match="truncated"):
+        fault_signature(trace)
+
+
+def test_fault_history_accepts_complete_trace():
+    from repro.faults.harness import fault_signature
+
+    trace = Trace(capacity=10)
+    trace.record(0, "faults.ram", "fault.stall", {"extra": 3})
+    trace.record(1, "bus", "grant", {})
+    assert len(fault_signature(trace)) == 1
+
+
 def test_trace_filters_and_first():
     trace = Trace()
     trace.record(0, "a", "x", {"v": 1})
