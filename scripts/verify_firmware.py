@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run the static verifier over every in-tree firmware program.
+
+CI gate (the `analysis` job): each microcode program the repository
+can generate — the canonical Figure 4 programs, the firmware planner's
+output for every shipped RAC, and the explicit programs the examples
+build — must verify clean against the accelerator it targets.  Exits
+non-zero and prints the findings when any program regresses.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.firmware import plan_streaming_run
+from repro.core.program import (
+    OuProgram,
+    figure4_looped_program,
+    figure4_program,
+    idct_program,
+)
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.idct import IDCTRac
+from repro.rac.matmul import MatMulRac
+from repro.rac.scale import PassthroughRac, ScaleRac
+
+
+def canonical_programs():
+    """(name, program, rac, configured_banks) for every firmware source."""
+    yield ("figure4 dft-256", figure4_program(256),
+           DFTRac(n_points=256), {1, 2})
+    yield ("figure4-looped dft-256", figure4_looped_program(256),
+           DFTRac(n_points=256), {1, 2})
+    yield ("figure4 dft-1024", figure4_program(1024),
+           DFTRac(n_points=1024), {1, 2})
+    yield ("idct 3 blocks", idct_program(n_blocks=3), IDCTRac(), {1, 2})
+
+    # the firmware planner over every shipped RAC (what OuessantLibrary
+    # loads in examples/jpeg_decode.py, ofdm_receiver.py, ...)
+    for rac in (DFTRac(n_points=256), IDCTRac(),
+                FIRRac(block_size=128, n_taps=8), MatMulRac(n=8),
+                ScaleRac(block_size=16), PassthroughRac(block_size=16)):
+        for operations in (1, 2):
+            plan = plan_streaming_run(rac, operations=operations)
+            yield (f"plan {rac.name} x{operations}", plan.program,
+                   rac, set(plan.banks_used))
+
+    # explicit programs from the examples
+    yield ("examples/quickstart.py",
+           OuProgram().mvtc(1, 0, 16).execs().mvfc(2, 0, 16).eop(),
+           ScaleRac(block_size=16), {1, 2})
+    yield ("examples/custom_accelerator.py (hls sqrt)",
+           OuProgram().stream_to(1, 32).execs().stream_from(2, 32).eop(),
+           None, {1, 2})
+    yield ("examples/standalone_pipeline.py",
+           OuProgram().stream_to(1, 64).execs().stream_from(2, 64).eop(),
+           IDCTRac(), {1, 2})
+
+
+def main() -> int:
+    failures = 0
+    for name, program, rac, banks in canonical_programs():
+        report = program.verify(rac=rac, configured_banks=banks)
+        status = "clean" if report.clean else "FAIL"
+        bound = report.max_steps if report.max_steps is not None else "?"
+        print(f"{status:5}  {name:40}  "
+              f"{len(program):3} instrs, <= {bound} steps")
+        if not report.clean:
+            failures += 1
+            for line in report.render().splitlines():
+                print(f"       {line}")
+    if failures:
+        print(f"\n{failures} firmware program(s) failed verification")
+        return 1
+    print("\nall firmware programs verified clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,18 @@ class MemoryMap:
                 return region
         return None
 
+    def span_from(self, address: int) -> Optional[int]:
+        """Bytes from ``address`` to the end of its region.
+
+        ``None`` when no slave decodes ``address``.  Static analyzers
+        use this to bound how far a burst starting at ``address`` may
+        run before falling off the mapped window.
+        """
+        region = self.find(address)
+        if region is None:
+            return None
+        return region.end - address
+
     def lookup(self, address: int, span_bytes: int = 4) -> Tuple[Region, int]:
         """Resolve an access; the whole span must fit in one region.
 

@@ -6,6 +6,7 @@ original project shipped alongside its RTL:
 * ``assemble``  -- microcode text -> instruction words (hex, one/line)
 * ``disasm``    -- instruction words -> Figure 4 style text
 * ``lint``      -- static-check microcode against an accelerator
+* ``verify``    -- full static analysis incl. cross-layer contracts
 * ``estimate``  -- FPGA resource report for an OCP + RAC
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
@@ -15,6 +16,14 @@ original project shipped alongside its RTL:
 Every command reads/writes plain text so it composes with shell
 pipelines; ``main`` returns a process exit code and is directly
 callable from tests.
+
+Exit codes for the analysis commands (``lint``, ``verify``) are a
+documented contract for scripting:
+
+* ``0`` -- the program is clean (no error-severity findings),
+* ``1`` -- at least one error finding,
+* ``2`` -- usage or input problems (unreadable file, bad RAC spec,
+  malformed options).
 """
 
 from __future__ import annotations
@@ -25,7 +34,6 @@ from typing import List, Optional
 
 from .core.assembler import assemble_microcode, disassemble
 from .core.encoding import decode as ou_decode
-from .core.lint import has_errors, lint_program, render_diagnostics
 from .rac.base import RAC
 from .rac.dft import DFTRac
 from .rac.fir import FIRRac
@@ -84,18 +92,60 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    text = _read_text(args.input)
+def _load_program(path: str) -> List["object"]:
+    """Read microcode (assembly text or hex words) into instructions."""
+    text = _read_text(path)
     try:
         words = assemble_microcode(text)
     except ReproError:
         words = [int(token, 16) for token in text.split()]
-    program = [ou_decode(word) for word in words]
+    return [ou_decode(word) for word in words]
+
+
+def _parse_bank_sizes(specs: Optional[List[str]]) -> Optional[dict]:
+    """Parse repeated ``BANK=WORDS`` options into a window map."""
+    if not specs:
+        return None
+    windows = {}
+    for spec in specs:
+        bank, sep, words = spec.partition("=")
+        if not sep or not bank.isdigit() or not words.isdigit():
+            raise ReproError(
+                f"bad --bank-size {spec!r} (expected BANK=WORDS)"
+            )
+        windows[int(bank)] = int(words)
+    return windows
+
+
+def _run_verifier(args: argparse.Namespace,
+                  bank_windows: Optional[dict]) -> int:
+    from .verify.engine import verify_program
+
+    program = _load_program(args.input)
     rac = _make_rac(args.rac) if args.rac else None
     banks = set(args.banks) if args.banks else None
-    diags = lint_program(program, rac=rac, configured_banks=banks)
-    print(render_diagnostics(diags))
-    return 1 if has_errors(diags) else 0
+    extra = {}
+    budget = getattr(args, "step_budget", None)
+    if budget is not None:  # otherwise keep the engine's default
+        extra["step_budget"] = budget
+    report = verify_program(
+        program,
+        rac=rac,
+        configured_banks=banks,
+        bank_windows=bank_windows,
+        suppress=getattr(args, "suppress", None) or (),
+        **extra,
+    )
+    print(report.render_json() if args.json else report.render())
+    return 0 if report.clean else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _run_verifier(args, bank_windows=None)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    return _run_verifier(args, _parse_bank_sizes(args.bank_size))
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -116,8 +166,8 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
     words = assemble_microcode(_read_text(args.input))
     program = [ou_decode(word) for word in words]
-    transformed = (expand_program(program) if args.expand
-                   else compress_program(program))
+    transformed = (expand_program(program, check=True) if args.expand
+                   else compress_program(program, check=True))
     result = as_program(list(transformed))
     print(result.listing())
     print(
@@ -217,12 +267,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help="hex word file ('-' for stdin)")
     p.set_defaults(fn=_cmd_disasm)
 
-    p = sub.add_parser("lint", help="static-check microcode")
+    p = sub.add_parser(
+        "lint",
+        help="static-check microcode (exit: 0 clean, 1 errors, 2 usage)",
+    )
     p.add_argument("input", help="source or hex file ('-' for stdin)")
     p.add_argument("--rac", help="accelerator spec, e.g. dft:256")
     p.add_argument("--banks", type=int, nargs="*",
                    help="configured bank numbers")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--suppress", nargs="*", metavar="CODE",
+                   help="diagnostic codes to suppress (e.g. OU010)")
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "verify",
+        help="full static analysis with cross-layer contracts "
+             "(exit: 0 clean, 1 errors, 2 usage)",
+    )
+    p.add_argument("input", help="source or hex file ('-' for stdin)")
+    p.add_argument("--rac", help="accelerator spec, e.g. dft:256")
+    p.add_argument("--banks", type=int, nargs="*",
+                   help="configured bank numbers")
+    p.add_argument("--bank-size", action="append", metavar="BANK=WORDS",
+                   help="mapped window of a bank in words (repeatable)")
+    p.add_argument("--step-budget", type=int,
+                   help="flag programs executing more instructions")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--suppress", nargs="*", metavar="CODE",
+                   help="diagnostic codes to suppress (e.g. OU010)")
+    p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser("estimate", help="FPGA resource report")
     p.add_argument("--rac", default="dft:256")

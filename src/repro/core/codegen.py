@@ -63,18 +63,35 @@ def _run_length(program: Sequence[OuInstruction], start: int) -> int:
     return length
 
 
-def compress_program(program: Sequence[OuInstruction]) -> List[OuInstruction]:
+def _checked(instructions: List[OuInstruction]) -> List[OuInstruction]:
+    """Gate a rewriter's output through the static verifier."""
+    from ..verify.engine import verify_program
+
+    report = verify_program(instructions)
+    if not report.clean:
+        raise ConfigurationError(
+            "rewritten program failed verification:\n" + report.render()
+        )
+    return instructions
+
+
+def compress_program(
+    program: Sequence[OuInstruction], check: bool = False
+) -> List[OuInstruction]:
     """Collapse unrolled transfer runs into hardware loops.
 
     Only programs made of the base set are rewritten (a program that
     already uses OFR or loops is returned unchanged -- the rewrite
-    would have to reason about interleaved register state).
+    would have to reason about interleaved register state).  With
+    ``check=True`` the result is gated through the static verifier
+    and a :class:`ConfigurationError` raised on any error finding.
     """
     if any(instr.op not in (OuOp.MVTC, OuOp.MVFC, OuOp.EXEC, OuOp.EXECS,
                             OuOp.EOP, OuOp.NOP, OuOp.IRQ, OuOp.SYNC,
                             OuOp.HALT, OuOp.WAIT, OuOp.WAITF)
            for instr in program):
-        return list(program)
+        out = list(program)
+        return _checked(out) if check else out
     out: List[OuInstruction] = []
     index = 0
     while index < len(program):
@@ -96,11 +113,12 @@ def compress_program(program: Sequence[OuInstruction]) -> List[OuInstruction]:
         else:
             out.append(first)
             index += 1
-    return out
+    return _checked(out) if check else out
 
 
 def expand_program(
-    program: Sequence[OuInstruction], max_instructions: int = 16_384
+    program: Sequence[OuInstruction], max_instructions: int = 16_384,
+    check: bool = False,
 ) -> List[OuInstruction]:
     """Lower extension-ISA microcode to the paper's base set.
 
@@ -108,7 +126,9 @@ def expand_program(
     jumps followed, and wait instructions dropped (they have no
     functional effect).  The result contains only
     ``mvtc``/``mvfc``/``exec``/``execs``/``eop`` (and ``halt`` is
-    mapped to ``eop``-less termination by truncation).
+    mapped to ``eop``-less termination by truncation).  With
+    ``check=True`` the lowered program is gated through the static
+    verifier before being returned.
     """
     out: List[OuInstruction] = []
     pc = 0
@@ -156,7 +176,7 @@ def expand_program(
             pass  # timing-only / side-band: no base-set equivalent needed
         elif op in (OuOp.EOP, OuOp.HALT):
             out.append(OuInstruction(OuOp.EOP))
-            return out
+            return _checked(out) if check else out
         else:  # pragma: no cover
             raise ControllerError(f"cannot expand {op}")
     raise ControllerError("expansion ran past the program (missing eop)")

@@ -4,9 +4,9 @@ Every accelerated call follows the same shape — stream each input
 port's words in, start, drain each output port — and getting the word
 counts wrong is the main way to hang an OCP.  :func:`plan_streaming_run`
 derives the whole program from the accelerator's own port
-specification, assigns a canonical bank layout, and lints the result
-before returning it, so drivers and the user library never hand-count
-words.
+specification, assigns a canonical bank layout, and runs the static
+verifier over the result before returning it, so drivers and the user
+library never hand-count words.
 
 Canonical bank layout:
 
@@ -22,8 +22,8 @@ from typing import Dict, List
 
 from ..rac.base import StreamingRAC
 from ..sim.errors import ConfigurationError
+from ..verify.engine import verify_program
 from .isa import MAX_OFFSET, N_BANKS
-from .lint import has_errors, lint_program, render_diagnostics
 from .program import OuProgram
 
 
@@ -132,14 +132,13 @@ def plan_streaming_run(
             )
     program.eop()
 
-    diagnostics = lint_program(
+    report = verify_program(
         program.instructions, rac=rac,
         configured_banks=set(input_banks + output_banks),
     )
-    if has_errors(diagnostics):
+    if not report.clean:
         raise ConfigurationError(
-            "generated firmware failed lint:\n"
-            + render_diagnostics(diagnostics)
+            "generated firmware failed verification:\n" + report.render()
         )
     return FirmwarePlan(
         program=program,

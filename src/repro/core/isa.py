@@ -97,6 +97,10 @@ FROM_COPROCESSOR_OPS = {OuOp.MVFC, OuOp.MVFCX}
 TRANSFER_OPS = TO_COPROCESSOR_OPS | FROM_COPROCESSOR_OPS
 #: opcodes using the offset register
 INDEXED_OPS = {OuOp.MVTCX, OuOp.MVFCX}
+#: opcodes that redirect the program counter
+CONTROL_FLOW_OPS = {OuOp.JMP, OuOp.LOOP, OuOp.ENDL}
+#: opcodes that stop the controller
+TERMINATOR_OPS = {OuOp.EOP, OuOp.HALT}
 
 
 class FIFODirection(enum.Enum):

@@ -1,34 +1,25 @@
-"""Static microcode checker.
+"""Static microcode checker -- compatibility shim.
 
-Firmware for the OCP is tiny, but the failure modes are classic
-embedded ones: a transfer addressed to a FIFO the RAC does not have, a
-bank the driver never configured, a word count that does not match the
-accelerator's appetite (hanging the FIFO engine forever), an
-unterminated program running off the end.  ``lint_program`` catches
-all of these *before* the microcode is loaded, against the actual RAC
-the OCP hosts.
+The linear scan that used to live here grew into a real static
+analyzer: :mod:`repro.verify` builds a control-flow graph over the full
+ISA and runs an interval abstract interpreter over it (see
+``docs/ANALYSIS.md``).  This module keeps the original, widely-used API
+-- :func:`lint_program` returning :class:`Diagnostic` records -- as a
+thin adapter over :func:`repro.verify.engine.verify_program`.
 
-Each finding is a :class:`Diagnostic` with a severity:
-
-* ``error`` -- the program will fault or hang on real hardware;
-* ``warning`` -- legal but suspicious (e.g. moving more words than the
-  accelerator will consume per operation pattern).
+New code should call the verifier directly: it exposes stable
+diagnostic codes (``OU001`` ...), suppression, JSON rendering, bank
+window contracts and the worst-case step bound, none of which fit this
+legacy surface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
-from ..rac.base import RAC, StreamingRAC
-from .isa import (
-    FIFODirection,
-    FROM_COPROCESSOR_OPS,
-    INDEXED_OPS,
-    OuInstruction,
-    OuOp,
-    TO_COPROCESSOR_OPS,
-)
+from ..rac.base import RAC
+from .isa import OuInstruction
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -46,13 +37,6 @@ class Diagnostic:
         return f"[{self.severity}] instr {self.index}: {self.message}"
 
 
-def _terminators(program: Sequence[OuInstruction]) -> Set[int]:
-    return {
-        i for i, instr in enumerate(program)
-        if instr.op in (OuOp.EOP, OuOp.HALT)
-    }
-
-
 def lint_program(
     program: Sequence[OuInstruction],
     rac: Optional[RAC] = None,
@@ -60,158 +44,25 @@ def lint_program(
 ) -> List[Diagnostic]:
     """Check a microcode program; returns diagnostics (empty = clean).
 
-    Parameters
-    ----------
-    rac:
-        When given, FIFO indices and per-operation word counts are
-        checked against the accelerator's port specification.
-    configured_banks:
-        When given, every referenced bank must be in the set (bank 0,
-        the microcode bank, is implicitly configured).
+    Adapter over :func:`repro.verify.engine.verify_program`: findings
+    are translated to the legacy :class:`Diagnostic` shape, with
+    whole-program findings anchored to the last instruction (the old
+    scan's convention).
     """
-    diags: List[Diagnostic] = []
-    n_in = len(rac.ports.input_widths) if rac is not None else None
-    n_out = len(rac.ports.output_widths) if rac is not None else None
+    from ..verify.engine import verify_program
 
-    if not program:
-        return [Diagnostic(0, SEVERITY_ERROR, "empty program")]
-
-    # -- termination & control flow -------------------------------------
-    if not _terminators(program):
-        diags.append(Diagnostic(
-            len(program) - 1, SEVERITY_ERROR,
-            "no eop/halt: the controller will run past the program",
-        ))
-    loop_depth = 0
-    words_in: Dict[int, int] = {}
-    words_out: Dict[int, int] = {}
-    exec_seen = False
-    in_loop_multiplier = 1
-
-    for index, instr in enumerate(program):
-        op = instr.op
-        if op is OuOp.JMP and instr.imm >= len(program):
-            diags.append(Diagnostic(
-                index, SEVERITY_ERROR,
-                f"jmp target {instr.imm} outside the {len(program)}-"
-                "instruction program",
-            ))
-        if op is OuOp.LOOP:
-            loop_depth += 1
-            in_loop_multiplier = instr.imm
-            if loop_depth > 1:
-                diags.append(Diagnostic(
-                    index, SEVERITY_ERROR,
-                    "nested loop: the controller supports a single level",
-                ))
-        if op is OuOp.ENDL:
-            if loop_depth == 0:
-                diags.append(Diagnostic(
-                    index, SEVERITY_ERROR, "endl without a matching loop",
-                ))
-            else:
-                loop_depth -= 1
-                in_loop_multiplier = 1
-        if op in (OuOp.EXEC, OuOp.EXECS):
-            exec_seen = True
-
-        # -- banks --------------------------------------------------------
-        if instr.is_transfer() and configured_banks is not None:
-            allowed = set(configured_banks) | {0}
-            if instr.bank not in allowed:
-                diags.append(Diagnostic(
-                    index, SEVERITY_ERROR,
-                    f"bank {instr.bank} is never configured",
-                ))
-
-        # -- FIFOs & volumes ------------------------------------------------
-        multiplier = in_loop_multiplier if loop_depth else 1
-        if op in TO_COPROCESSOR_OPS:
-            if n_in is not None and instr.fifo >= n_in:
-                diags.append(Diagnostic(
-                    index, SEVERITY_ERROR,
-                    f"mvtc addresses input FIFO{instr.fifo} but the RAC "
-                    f"has {n_in}",
-                ))
-            words_in[instr.fifo] = words_in.get(instr.fifo, 0) + (
-                instr.count * multiplier
-            )
-        if op in FROM_COPROCESSOR_OPS:
-            if n_out is not None and instr.fifo >= n_out:
-                diags.append(Diagnostic(
-                    index, SEVERITY_ERROR,
-                    f"mvfc addresses output FIFO{instr.fifo} but the RAC "
-                    f"has {n_out}",
-                ))
-            words_out[instr.fifo] = words_out.get(instr.fifo, 0) + (
-                instr.count * multiplier
-            )
-        if op is OuOp.WAITF and rac is not None:
-            limit = n_in if instr.direction is FIFODirection.INPUT else n_out
-            if limit is not None and instr.fifo >= limit:
-                diags.append(Diagnostic(
-                    index, SEVERITY_ERROR,
-                    f"waitf addresses FIFO{instr.fifo} beyond the RAC's ports",
-                ))
-        if op in INDEXED_OPS and not any(
-            p.op in (OuOp.ADDOFR, OuOp.CLROFR) for p in program[:index]
-        ):
-            diags.append(Diagnostic(
-                index, SEVERITY_WARNING,
-                "indexed transfer before any addofr/clrofr: OFR is 0 "
-                "at start, was that intended?",
-            ))
-
-    if loop_depth != 0:
-        diags.append(Diagnostic(
-            len(program) - 1, SEVERITY_ERROR,
-            "loop opened but never closed with endl",
-        ))
-
-    # -- accelerator appetite ------------------------------------------
-    if isinstance(rac, StreamingRAC):
-        for port, need in enumerate(rac.items_in):
-            moved = words_in.get(port, 0)
-            if moved and moved % need:
-                diags.append(Diagnostic(
-                    len(program) - 1, SEVERITY_ERROR,
-                    f"input FIFO{port} receives {moved} words but the RAC "
-                    f"consumes multiples of {need}: the last operation "
-                    "will starve",
-                ))
-        ops = (words_in.get(0, 0) // rac.items_in[0]) if rac.items_in[0] else 0
-        for port, produce in enumerate(rac.items_out):
-            drained = words_out.get(port, 0)
-            expected = ops * produce
-            if drained > expected:
-                diags.append(Diagnostic(
-                    len(program) - 1, SEVERITY_ERROR,
-                    f"output FIFO{port} is drained of {drained} words but "
-                    f"the program only produces {expected}: mvfc will hang",
-                ))
-            elif drained < expected:
-                diags.append(Diagnostic(
-                    len(program) - 1, SEVERITY_WARNING,
-                    f"output FIFO{port} produces {expected} words but only "
-                    f"{drained} are drained: residue left in the FIFO",
-                ))
-        if words_in and not exec_seen and not rac.autostart:
-            diags.append(Diagnostic(
-                len(program) - 1, SEVERITY_ERROR,
-                "data is pushed but the RAC is never started "
-                "(no exec/execs and autostart is off)",
-            ))
-        depth = rac.ports.fifo_depth
-        if not rac.autostart:
-            for port, moved in words_in.items():
-                if moved > depth:
-                    diags.append(Diagnostic(
-                        len(program) - 1, SEVERITY_ERROR,
-                        f"{moved} words pushed to input FIFO{port} before "
-                        f"any consumption with depth {depth}: the transfer "
-                        "engine will deadlock",
-                    ))
-    return diags
+    report = verify_program(
+        program, rac=rac, configured_banks=configured_banks
+    )
+    last = max(0, len(list(program)) - 1)
+    return [
+        Diagnostic(
+            index=finding.index if finding.index is not None else last,
+            severity=finding.severity,
+            message=finding.message,
+        )
+        for finding in report.findings
+    ]
 
 
 def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:

@@ -196,6 +196,27 @@ class OuProgram:
             offset += take
             remaining -= take
 
+    # -- analysis ----------------------------------------------------------
+    def verify(self, rac=None, configured_banks=None, bank_windows=None,
+               step_budget: Optional[int] = None, **kwargs):
+        """Run the static verifier over this program.
+
+        Convenience front-end to
+        :func:`repro.verify.engine.verify_program`; returns its
+        :class:`~repro.verify.diagnostics.VerifyReport`.  A ``None``
+        ``step_budget`` keeps the engine's default (the reference
+        model's step limit).
+        """
+        from ..verify.engine import verify_program
+
+        if step_budget is not None:
+            kwargs["step_budget"] = step_budget
+        return verify_program(
+            self._instructions, rac=rac,
+            configured_banks=configured_banks,
+            bank_windows=bank_windows, **kwargs,
+        )
+
     # -- output ------------------------------------------------------------
     @property
     def instructions(self) -> List[OuInstruction]:

@@ -260,6 +260,34 @@ class OuessantDriver:
             )
         return self.run(image.words, banks)
 
+    def verify_microcode(
+        self, program_words: List[int], banks: Dict[int, int]
+    ):
+        """Statically verify microcode against this system's layout.
+
+        Decodes the instruction words and runs the full analyzer with
+        the cross-layer contracts: the RAC actually hosted by this
+        OCP, the configured bank set, and per-bank windows derived
+        from the bus memory map.  Returns the
+        :class:`~repro.verify.diagnostics.VerifyReport` (zero
+        simulated cycles are consumed).
+        """
+        from ..core.encoding import decode
+        from ..verify.contracts import bank_windows_from_map
+        from ..verify.engine import verify_program
+
+        program = [decode(word) for word in program_words]
+        windows, findings = bank_windows_from_map(banks, self.soc.bus.memmap)
+        report = verify_program(
+            program,
+            rac=self.ocp.rac,
+            configured_banks=set(banks),
+            bank_windows=windows,
+        )
+        report.findings.extend(findings)
+        report.sort()
+        return report
+
     def run(
         self,
         program_words: List[int],
@@ -267,6 +295,7 @@ class OuessantDriver:
         program_address: Optional[int] = None,
         check_status: bool = False,
         max_wait_cycles: int = 5_000_000,
+        verify: bool = False,
     ) -> RunResult:
         """Full sequence: place microcode, configure, start, wait, ack.
 
@@ -277,6 +306,11 @@ class OuessantDriver:
         completion and raises :class:`OcpRunError` if the controller
         trapped (an extra bus read, so it is off by default to keep
         the paper's measured sequence unchanged).
+
+        With ``verify=True`` the microcode is first run through the
+        static verifier (:meth:`verify_microcode`) and a
+        :class:`DriverError` raised on any error finding -- a buggy
+        program is rejected before it can hang the hardware.
         """
         if program_address is None:
             program_address = banks.get(0)
@@ -284,6 +318,13 @@ class OuessantDriver:
             raise DriverError("bank 0 (microcode) address required")
         all_banks = dict(banks)
         all_banks[0] = program_address
+        if verify:
+            report = self.verify_microcode(program_words, all_banks)
+            if not report.clean:
+                raise DriverError(
+                    "microcode failed static verification:\n"
+                    + report.render()
+                )
         self.place_program(program_words, program_address)
 
         begin = self.soc.sim.cycle

@@ -1,0 +1,41 @@
+"""Static-analysis framework for Ouessant microcode.
+
+Public surface:
+
+* :func:`~repro.verify.engine.verify_program` -- the verifier,
+* :class:`~repro.verify.diagnostics.VerifyReport` /
+  :class:`~repro.verify.diagnostics.Finding` / :data:`CATALOG` -- the
+  diagnostics model,
+* :func:`~repro.verify.contracts.verify_on_soc` /
+  :func:`~repro.verify.contracts.bank_windows_from_map` -- cross-layer
+  contract checks against a concrete system,
+* :func:`~repro.verify.cfg.build_cfg` -- the CFG builder, exported for
+  tests and tooling.
+"""
+
+from .cfg import CFG, BasicBlock, LoopRegion, build_cfg
+from .contracts import bank_windows_from_map, verify_on_soc
+from .diagnostics import (
+    CATALOG,
+    Finding,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    VerifyReport,
+)
+from .engine import DEFAULT_STEP_BUDGET, verify_program
+
+__all__ = [
+    "CATALOG",
+    "CFG",
+    "BasicBlock",
+    "DEFAULT_STEP_BUDGET",
+    "Finding",
+    "LoopRegion",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "VerifyReport",
+    "bank_windows_from_map",
+    "build_cfg",
+    "verify_on_soc",
+    "verify_program",
+]

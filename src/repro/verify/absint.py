@@ -1,0 +1,248 @@
+"""Abstract interpretation of Ouessant microcode over the interval domain.
+
+The :class:`Analyzer` propagates :class:`~repro.verify.domain.AbsState`
+abstract states over a *structured* CFG (no structural problems, see
+:mod:`repro.verify.cfg`).  Two ISA facts make the analysis both exact on
+real firmware and guaranteed to terminate on anything decodable:
+
+* minus ``endl`` back-edges, the reachable CFG is a DAG, so one pass in
+  topological order computes every in-state with plain joins -- no
+  fixpoint iteration;
+* ``loop``/``endl`` regions have compile-time trip counts, so instead of
+  widening a loop body we *accelerate* it: run the body transfer twice,
+  measure the per-iteration delta ``D`` (exact, because the counters are
+  additive and the body's path set does not depend on the entry state),
+  and extrapolate ``out[trip] = out[2] + D * (trip - 2)``.
+
+Per-instruction checks run through a callback so the engine owns the
+diagnostics.  Inside a loop body, checks are evaluated against every
+iteration's entry state when the unrolling is cheap (``trip`` and the
+total work are small), which keeps pipelined push/drain loops exact;
+beyond that budget the iteration entries' interval hull is used, which
+stays sound (it can only over-approximate, i.e. flag more).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.isa import (
+    FROM_COPROCESSOR_OPS,
+    OuInstruction,
+    OuOp,
+    TERMINATOR_OPS,
+    TO_COPROCESSOR_OPS,
+)
+from .cfg import CFG, LoopRegion
+from .domain import AbsState, Interval
+
+#: loops with at most this many iterations are checked per-iteration
+CHECK_UNROLL_LIMIT = 64
+#: ... as long as trip * body-size stays below this instruction budget
+CHECK_WORK_LIMIT = 4096
+
+#: check callback: (instruction index, instruction, state *before* it)
+CheckFn = Callable[[int, OuInstruction, AbsState], None]
+
+
+def transfer_instruction(instr: OuInstruction, state: AbsState) -> None:
+    """Apply one instruction's effect to ``state`` in place."""
+    op = instr.op
+    if op in TO_COPROCESSOR_OPS:
+        state.add_pushed(instr.fifo, instr.count)
+    elif op in FROM_COPROCESSOR_OPS:
+        state.add_drained(instr.fifo, instr.count)
+    elif op is OuOp.ADDOFR:
+        state.ofr = state.ofr.add_const(instr.imm)
+    elif op is OuOp.CLROFR:
+        state.ofr = Interval.point(0)
+    state.steps = state.steps.add_const(1)
+
+
+def _state_delta(first: AbsState, second: AbsState) -> AbsState:
+    """Per-iteration growth between two consecutive body exit states."""
+    delta = AbsState(ofr=first.ofr.delta_to(second.ofr),
+                     steps=first.steps.delta_to(second.steps))
+    for key in set(first.pushed) | set(second.pushed):
+        delta.pushed[key] = first.get_pushed(key).delta_to(
+            second.get_pushed(key))
+    for key in set(first.drained) | set(second.drained):
+        delta.drained[key] = first.get_drained(key).delta_to(
+            second.get_drained(key))
+    return delta
+
+
+def _extrapolate(base: AbsState, delta: AbsState, times: int) -> AbsState:
+    """``base + delta * times`` with counters clamped non-negative."""
+    factor = Interval.point(times)
+
+    def extend(value: Interval, step: Interval) -> Interval:
+        return (value + step.scale(factor)).clamp_nonneg()
+
+    out = AbsState(ofr=extend(base.ofr, delta.ofr),
+                   steps=extend(base.steps, delta.steps))
+    for key in set(base.pushed) | set(delta.pushed):
+        out.pushed[key] = extend(base.get_pushed(key),
+                                 delta.pushed.get(key, Interval.point(0)))
+    for key in set(base.drained) | set(delta.drained):
+        out.drained[key] = extend(base.get_drained(key),
+                                  delta.drained.get(key, Interval.point(0)))
+    return out
+
+
+def _join_all(states: List[AbsState]) -> Optional[AbsState]:
+    if not states:
+        return None
+    acc = states[0]
+    for state in states[1:]:
+        acc = acc.join(state)
+    return acc
+
+
+class Analyzer:
+    """Single-pass interval analysis over a structured CFG."""
+
+    def __init__(self, cfg: CFG) -> None:
+        if not cfg.structured or cfg.acyclic_order() is None:
+            raise ValueError("Analyzer requires a structured, acyclic CFG")
+        self.cfg = cfg
+        self.region_by_header: Dict[int, LoopRegion] = {
+            cfg.block_of[region.loop_index]: region for region in cfg.loops
+        }
+        self.body_blocks: Set[int] = set()
+        for region in cfg.loops:
+            for index in range(region.loop_index + 1, region.endl_index + 1):
+                self.body_blocks.add(cfg.block_of[index])
+
+    # -- block/body execution ---------------------------------------------
+    def _exec_block(self, block_id: int, state: AbsState,
+                    check: Optional[CheckFn]) -> AbsState:
+        out = state.copy()
+        block = self.cfg.blocks[block_id]
+        for index in range(block.start, block.end + 1):
+            instr = self.cfg.program[index]
+            if check is not None:
+                check(index, instr, out)
+            transfer_instruction(instr, out)
+        return out
+
+    def _propagate_body(
+        self, region: LoopRegion, entry: AbsState,
+        check: Optional[CheckFn],
+    ) -> Tuple[Optional[AbsState], List[AbsState]]:
+        """Run one abstract iteration of a loop body.
+
+        Returns the out-state of the ``endl`` block (``None`` when the
+        ``endl`` is not reached from the body entry, e.g. the body
+        always hits a terminator first) plus the out-states of any
+        terminator blocks inside the body.
+        """
+        cfg = self.cfg
+        entry_block = cfg.block_of[region.loop_index + 1]
+        endl_block = cfg.block_of[region.endl_index]
+        in_states: Dict[int, AbsState] = {entry_block: entry}
+        terminal: List[AbsState] = []
+        endl_out: Optional[AbsState] = None
+        for block_id in cfg.acyclic_order() or ():
+            if block_id not in self.body_blocks or block_id not in in_states:
+                continue
+            out = self._exec_block(block_id, in_states[block_id], check)
+            block = cfg.blocks[block_id]
+            if block_id == endl_block:
+                endl_out = out
+                continue
+            if (cfg.program[block.end].op in TERMINATOR_OPS
+                    or block.falls_off_end):
+                terminal.append(out)
+                continue
+            for succ in block.successors:
+                if succ == block.back_edge or succ not in self.body_blocks:
+                    continue
+                prev = in_states.get(succ)
+                in_states[succ] = out if prev is None else prev.join(out)
+        return endl_out, terminal
+
+    def _accelerate(
+        self, region: LoopRegion, entry: AbsState, check: Optional[CheckFn],
+    ) -> Tuple[Optional[AbsState], List[AbsState]]:
+        """Summarize a whole ``loop``/``endl`` region.
+
+        ``entry`` is the state just after the ``loop`` instruction.
+        Returns the state on the region's exit edge (``None`` when the
+        region never exits through ``endl``) and terminator out-states
+        collected from the body check pass.
+        """
+        out1, _ = self._propagate_body(region, entry, None)
+        if out1 is None or region.trip == 1:
+            # the body runs (at most) once: a single pass both checks
+            # and computes the exit state.
+            exit_out, terminal = self._propagate_body(region, entry, check)
+            return exit_out, terminal
+
+        out2, _ = self._propagate_body(region, out1, None)
+        delta = _state_delta(out1, out2)
+        exit_state = (_extrapolate(out2, delta, region.trip - 2)
+                      if region.trip > 2 else out2)
+
+        terminal: List[AbsState] = []
+        body_size = region.endl_index - region.loop_index
+        if (region.trip <= CHECK_UNROLL_LIMIT
+                and region.trip * body_size <= CHECK_WORK_LIMIT):
+            # exact per-iteration checking: iteration k >= 2 enters the
+            # body in state out1 + delta * (k - 2).
+            for k in range(region.trip):
+                entry_k = (entry if k == 0
+                           else _extrapolate(out1, delta, k - 1))
+                _, extra = self._propagate_body(region, entry_k, check)
+                terminal.extend(extra)
+        else:
+            # hull of all iteration entries -- sound (bounds are affine
+            # in the iteration number, so the hull of the first and
+            # last entries covers every iteration), possibly imprecise.
+            last_entry = _extrapolate(out1, delta, region.trip - 2)
+            _, extra = self._propagate_body(
+                region, entry.join(last_entry), check)
+            terminal.extend(extra)
+        return exit_state, terminal
+
+    # -- whole-program run -------------------------------------------------
+    def run(self, check: Optional[CheckFn] = None) -> Optional[AbsState]:
+        """Propagate states over the program; return the exit state.
+
+        The returned state is the join over every reachable terminator
+        (and fall-off-the-end) point, or ``None`` when no such point is
+        abstractly reachable.  ``check`` is invoked exactly once per
+        (reachable) instruction with the in-state used for checking.
+        """
+        cfg = self.cfg
+        in_states: Dict[int, AbsState] = {cfg.block_of[0]: AbsState()}
+        finals: List[AbsState] = []
+
+        def deliver(block_id: int, state: AbsState) -> None:
+            prev = in_states.get(block_id)
+            in_states[block_id] = state if prev is None else prev.join(state)
+
+        for block_id in cfg.acyclic_order() or ():
+            if block_id in self.body_blocks or block_id not in in_states:
+                continue
+            out = self._exec_block(block_id, in_states[block_id], check)
+            block = cfg.blocks[block_id]
+            region = self.region_by_header.get(block_id)
+            if region is not None:
+                exit_state, terminal = self._accelerate(region, out, check)
+                finals.extend(terminal)
+                if exit_state is not None:
+                    endl_block = cfg.blocks[cfg.block_of[region.endl_index]]
+                    if endl_block.falls_off_end:
+                        finals.append(exit_state)
+                    else:
+                        deliver(cfg.block_of[region.endl_index + 1],
+                                exit_state)
+                continue
+            if (cfg.program[block.end].op in TERMINATOR_OPS
+                    or block.falls_off_end):
+                finals.append(out)
+                continue
+            for succ in block.successors:
+                deliver(succ, out)
+        return _join_all(finals)

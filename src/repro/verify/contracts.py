@@ -1,0 +1,75 @@
+"""Cross-layer contracts: driver bank configuration vs the memory map.
+
+Microcode is written against *bank numbers*; the driver binds those
+banks to absolute byte addresses at run time, and the system memory map
+decides how much room each binding actually has.  These helpers close
+the loop: given a ``bank -> address`` map and a
+:class:`~repro.bus.memmap.MemoryMap`, they derive the per-bank window
+(in words) that the verifier's OU022 check enforces, and flag bank
+bases no bus slave decodes (OU025) -- the two failure modes a linear
+scan over the program alone can never see.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..bus.memmap import MemoryMap
+from .diagnostics import Finding, make_finding
+from .engine import DEFAULT_STEP_BUDGET, verify_program
+
+
+def bank_windows_from_map(
+    banks: Mapping[int, int], memmap: MemoryMap
+) -> Tuple[Dict[int, int], List[Finding]]:
+    """Resolve each configured bank base against the memory map.
+
+    Returns ``(windows, findings)`` where ``windows`` maps bank number
+    to the number of *words* addressable from its base before the
+    region ends, and ``findings`` holds one OU025 error per bank whose
+    base address no slave decodes.
+    """
+    windows: Dict[int, int] = {}
+    findings: List[Finding] = []
+    for bank, address in sorted(banks.items()):
+        span = memmap.span_from(address)
+        if span is None:
+            findings.append(make_finding(
+                "OU025", None,
+                f"bank {bank} base {address:#010x} is not decoded by "
+                "any bus slave",
+            ))
+        else:
+            windows[bank] = span // 4
+    return windows, findings
+
+
+def verify_on_soc(
+    program,
+    soc,
+    banks: Mapping[int, int],
+    ocp_index: int = 0,
+    step_budget: Optional[int] = DEFAULT_STEP_BUDGET,
+    suppress=None,
+):
+    """Run the full verifier against a concrete system configuration.
+
+    Pulls the RAC from the SoC's coprocessor and the per-bank windows
+    from its bus memory map, so every cross-layer check participates.
+    Accepts an :class:`~repro.core.program.OuProgram` or a plain
+    instruction sequence; returns a
+    :class:`~repro.verify.diagnostics.VerifyReport`.
+    """
+    instructions = getattr(program, "instructions", program)
+    windows, extra = bank_windows_from_map(banks, soc.bus.memmap)
+    report = verify_program(
+        instructions,
+        rac=soc.ocps[ocp_index].rac,
+        configured_banks=set(banks),
+        bank_windows=windows,
+        step_budget=step_budget,
+    )
+    report.findings.extend(extra)
+    report.sort()
+    report.apply_suppressions(suppress or ())
+    return report

@@ -1,0 +1,287 @@
+"""Diagnostics catalog for the microcode verifier.
+
+Every finding the analyzer can produce has a *stable code* (``OU001``,
+``OU002``, ...): scripts can suppress or grep for a code without
+depending on message wording, and the documentation
+(``docs/ANALYSIS.md``) can describe each failure mode once.  Codes are
+never reused; retired checks leave a hole.
+
+Code ranges, by theme:
+
+* ``OU00x``/``OU01x`` -- program structure and control flow,
+* ``OU02x`` -- banks, offsets and address windows,
+* ``OU03x`` -- FIFO fabric and accelerator (RAC) contracts,
+* ``OU04x`` -- cross-layer (driver / memory map) contracts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_SEVERITY_ORDER = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1}
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """Static description of one diagnostic code."""
+
+    code: str
+    severity: str
+    title: str
+    description: str
+
+
+_ENTRIES: Sequence[CatalogEntry] = (
+    # -- structure & control flow ---------------------------------------
+    CatalogEntry(
+        "OU001", SEVERITY_ERROR, "empty-program",
+        "The program contains no instructions; S would hang the "
+        "controller in its fetch state.",
+    ),
+    CatalogEntry(
+        "OU002", SEVERITY_ERROR, "missing-terminator",
+        "No eop/halt instruction anywhere: the controller runs past "
+        "PROG_SIZE and traps.",
+    ),
+    CatalogEntry(
+        "OU003", SEVERITY_ERROR, "jmp-out-of-range",
+        "A jmp target lies outside the program.",
+    ),
+    CatalogEntry(
+        "OU004", SEVERITY_ERROR, "nested-loop",
+        "A loop opens while another is active; the controller supports "
+        "a single hardware loop level.",
+    ),
+    CatalogEntry(
+        "OU005", SEVERITY_ERROR, "endl-without-loop",
+        "An endl executes with no loop active.",
+    ),
+    CatalogEntry(
+        "OU006", SEVERITY_ERROR, "unclosed-loop",
+        "A loop opens but no endl closes it before the program ends.",
+    ),
+    CatalogEntry(
+        "OU007", SEVERITY_ERROR, "unstructured-loop",
+        "A jmp crosses a loop boundary (into or out of a loop body); "
+        "the analyzer cannot bound the loop, and the controller's "
+        "loop registers may be left inconsistent.",
+    ),
+    CatalogEntry(
+        "OU008", SEVERITY_ERROR, "run-past-end",
+        "A reachable execution path falls off the end of the program "
+        "without hitting eop/halt (the terminator exists but is "
+        "jumped over).",
+    ),
+    CatalogEntry(
+        "OU009", SEVERITY_ERROR, "infinite-loop",
+        "A reachable control-flow cycle has no exit (jmp cycles are "
+        "unconditional): the program can never reach eop/halt.",
+    ),
+    CatalogEntry(
+        "OU010", SEVERITY_WARNING, "dead-code",
+        "Instructions are unreachable from the program entry.",
+    ),
+    CatalogEntry(
+        "OU011", SEVERITY_ERROR, "step-budget-exceeded",
+        "The worst-case executed-instruction count exceeds the "
+        "configured step budget (runaway loop trip counts).",
+    ),
+    # -- banks, offsets, windows ----------------------------------------
+    CatalogEntry(
+        "OU020", SEVERITY_ERROR, "unconfigured-bank",
+        "A transfer references a bank the driver never configured "
+        "(bank 0, the microcode bank, is implicitly configured).",
+    ),
+    CatalogEntry(
+        "OU021", SEVERITY_ERROR, "bank-window-overflow",
+        "offset + count (including any OFR contribution) exceeds the "
+        "14-bit bank window; the interface faults mid-burst on real "
+        "hardware.",
+    ),
+    CatalogEntry(
+        "OU022", SEVERITY_ERROR, "mapped-size-overflow",
+        "offset + count runs past the size of the memory region the "
+        "bank's base address is mapped to.",
+    ),
+    CatalogEntry(
+        "OU023", SEVERITY_WARNING, "ofr-unset",
+        "An indexed transfer (mvtcx/mvfcx) executes before any "
+        "addofr/clrofr; OFR is 0 at start, which is legal but often "
+        "means a missing setup instruction.",
+    ),
+    CatalogEntry(
+        "OU025", SEVERITY_ERROR, "bank-unmapped",
+        "A bank's configured base address is not decoded by any slave "
+        "on the system bus.",
+    ),
+    # -- FIFO / RAC contracts -------------------------------------------
+    CatalogEntry(
+        "OU030", SEVERITY_ERROR, "input-fifo-range",
+        "A transfer addresses an input FIFO the RAC does not provide.",
+    ),
+    CatalogEntry(
+        "OU031", SEVERITY_ERROR, "output-fifo-range",
+        "A transfer addresses an output FIFO the RAC does not provide.",
+    ),
+    CatalogEntry(
+        "OU032", SEVERITY_ERROR, "waitf-fifo-range",
+        "A waitf condition observes a FIFO beyond the RAC's ports.",
+    ),
+    CatalogEntry(
+        "OU033", SEVERITY_ERROR, "input-starve",
+        "An input FIFO's total volume is not a multiple of the RAC's "
+        "per-operation appetite: the last operation starves.",
+    ),
+    CatalogEntry(
+        "OU034", SEVERITY_ERROR, "overdrain",
+        "More words are drained from an output FIFO than the program's "
+        "operations produce: mvfc hangs forever.",
+    ),
+    CatalogEntry(
+        "OU035", SEVERITY_WARNING, "residue",
+        "Fewer words are drained than produced: residue is left in the "
+        "output FIFO after eop.",
+    ),
+    CatalogEntry(
+        "OU036", SEVERITY_ERROR, "never-started",
+        "Data is pushed but no exec/execs is reachable and the RAC "
+        "does not autostart.",
+    ),
+    CatalogEntry(
+        "OU037", SEVERITY_ERROR, "fifo-deadlock",
+        "More words are pushed to an input FIFO than its depth before "
+        "any consumption can begin: the transfer engine deadlocks.",
+    ),
+    CatalogEntry(
+        "OU038", SEVERITY_ERROR, "waitf-unsatisfiable",
+        "A waitf level exceeds the FIFO depth: the condition can never "
+        "hold and the controller waits forever.",
+    ),
+    CatalogEntry(
+        "OU039", SEVERITY_ERROR, "imprecise-volume",
+        "The analyzer could not bound FIFO volumes for this program "
+        "(control flow too irregular); it refuses to certify it.",
+    ),
+)
+
+#: the full catalog, keyed by code
+CATALOG: Dict[str, CatalogEntry] = {e.code: e for e in _ENTRIES}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier finding, anchored to an instruction index.
+
+    ``index`` is ``None`` for whole-program findings (the renderer
+    shows them against the last instruction, matching the legacy
+    linter's convention).
+    """
+
+    code: str
+    severity: str
+    index: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        where = "program" if self.index is None else f"instr {self.index}"
+        return f"{self.code} [{self.severity}] {where}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "index": self.index,
+            "message": self.message,
+            "title": CATALOG[self.code].title if self.code in CATALOG
+            else None,
+        }
+
+
+def make_finding(code: str, index: Optional[int], message: str) -> Finding:
+    """Build a finding, pulling the severity from the catalog."""
+    entry = CATALOG[code]
+    return Finding(code=code, severity=entry.severity, index=index,
+                   message=message)
+
+
+@dataclass
+class VerifyReport:
+    """The verifier's output: findings plus helpers and renderers."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: worst-case executed-instruction count, when the analyzer could
+    #: bound it (None for programs with control-flow errors)
+    max_steps: Optional[int] = None
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """True when no error-severity finding is present."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [f.code for f in self.findings]
+
+    def add(self, code: str, index: Optional[int], message: str) -> None:
+        self.findings.append(make_finding(code, index, message))
+
+    def sort(self) -> None:
+        """Order findings: by instruction index, errors first."""
+        self.findings.sort(key=lambda f: (
+            f.index if f.index is not None else 1 << 30,
+            _SEVERITY_ORDER.get(f.severity, 2),
+            f.code,
+        ))
+
+    def apply_suppressions(self, suppress: Iterable[str]) -> None:
+        """Move findings whose code is in ``suppress`` aside.
+
+        Suppressed findings do not count towards :attr:`clean` but stay
+        observable (and appear in the JSON output) so a suppression is
+        never silent.
+        """
+        codes = set(suppress)
+        kept: List[Finding] = []
+        for finding in self.findings:
+            (self.suppressed if finding.code in codes else kept).append(
+                finding
+            )
+        self.findings = kept
+
+    def render(self) -> str:
+        if not self.findings:
+            if self.suppressed:
+                return (f"clean: no findings "
+                        f"({len(self.suppressed)} suppressed)")
+            return "clean: no findings"
+        return "\n".join(str(f) for f in self.findings)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "clean": self.clean,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "max_steps": self.max_steps,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2)
+
+
+def has_error_findings(findings: Sequence[Finding]) -> bool:
+    return any(f.severity == SEVERITY_ERROR for f in findings)

@@ -1,0 +1,180 @@
+"""Interval abstract domain for the microcode verifier.
+
+The analyzer tracks non-negative counters (words pushed or drained per
+FIFO, executed instructions) and the OFR offset register.  All of them
+evolve by adding compile-time constants, so intervals with widening are
+both precise on real microcode (single-path programs keep width-0
+intervals) and guaranteed to terminate on adversarial control flow.
+
+``INF`` stands in for +infinity; interval bounds are ``int`` or
+``INF``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+#: +infinity sentinel for interval upper bounds
+INF = float("inf")
+
+Bound = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` (``hi`` may be INF)."""
+
+    lo: Bound
+    hi: Bound
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:  # pragma: no cover - construction bug guard
+            raise ValueError(f"bad interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def point(value: int) -> "Interval":
+        return Interval(value, value)
+
+    # -- predicates ------------------------------------------------------
+    @property
+    def is_point(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def bounded(self) -> bool:
+        return self.hi != INF
+
+    def __str__(self) -> str:
+        if self.is_point:
+            return str(self.lo)
+        hi = "inf" if self.hi == INF else str(self.hi)
+        return f"[{self.lo}, {hi}]"
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def add_const(self, value: int) -> "Interval":
+        return Interval(self.lo + value, self.hi + value)
+
+    def scale(self, factor: "Interval") -> "Interval":
+        """Multiply by a non-negative interval factor."""
+        candidates = [
+            self.lo * factor.lo, self.lo * factor.hi,
+            self.hi * factor.lo, self.hi * factor.hi,
+        ]
+        return Interval(min(candidates), max(candidates))
+
+    def delta_to(self, later: "Interval") -> "Interval":
+        """Per-iteration growth from this state to ``later``.
+
+        Bounds move independently (``lo -> lo``, ``hi -> hi``); this is
+        exact for the additive counters the verifier tracks (the set of
+        paths through a loop body does not depend on the entry state).
+        """
+        lo = later.lo - self.lo
+        hi = later.hi - self.hi
+        return Interval(min(lo, hi), max(lo, hi))
+
+    def clamp_nonneg(self) -> "Interval":
+        return Interval(max(0, self.lo), max(0, self.hi))
+
+    # -- lattice ---------------------------------------------------------
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to +/-inf.
+
+        The lower bound is clamped at 0 because every tracked quantity
+        is non-negative (OFR included: addofr immediates are unsigned
+        and clrofr resets to 0).
+        """
+        lo = self.lo if other.lo >= self.lo else 0
+        hi = self.hi if other.hi <= self.hi else INF
+        return Interval(lo, hi)
+
+
+ZERO = Interval.point(0)
+
+
+class AbsState:
+    """Abstract machine state at one program point.
+
+    * ``ofr`` -- the offset register,
+    * ``pushed[f]`` -- cumulative words moved into input FIFO ``f``,
+    * ``drained[f]`` -- cumulative words moved out of output FIFO ``f``,
+    * ``steps`` -- executed instructions so far.
+    """
+
+    __slots__ = ("ofr", "pushed", "drained", "steps")
+
+    def __init__(
+        self,
+        ofr: Interval = ZERO,
+        pushed: Optional[Dict[int, Interval]] = None,
+        drained: Optional[Dict[int, Interval]] = None,
+        steps: Interval = ZERO,
+    ) -> None:
+        self.ofr = ofr
+        self.pushed = dict(pushed or {})
+        self.drained = dict(drained or {})
+        self.steps = steps
+
+    def copy(self) -> "AbsState":
+        return AbsState(self.ofr, self.pushed, self.drained, self.steps)
+
+    # -- counter access ---------------------------------------------------
+    def get_pushed(self, fifo: int) -> Interval:
+        return self.pushed.get(fifo, ZERO)
+
+    def get_drained(self, fifo: int) -> Interval:
+        return self.drained.get(fifo, ZERO)
+
+    def add_pushed(self, fifo: int, count: int) -> None:
+        self.pushed[fifo] = self.get_pushed(fifo).add_const(count)
+
+    def add_drained(self, fifo: int, count: int) -> None:
+        self.drained[fifo] = self.get_drained(fifo).add_const(count)
+
+    # -- lattice ---------------------------------------------------------
+    def _merge(self, other: "AbsState", op: str) -> "AbsState":
+        def merge_maps(a: Dict[int, Interval], b: Dict[int, Interval]):
+            out: Dict[int, Interval] = {}
+            for key in set(a) | set(b):
+                out[key] = getattr(a.get(key, ZERO), op)(b.get(key, ZERO))
+            return out
+
+        return AbsState(
+            ofr=getattr(self.ofr, op)(other.ofr),
+            pushed=merge_maps(self.pushed, other.pushed),
+            drained=merge_maps(self.drained, other.drained),
+            steps=getattr(self.steps, op)(other.steps),
+        )
+
+    def join(self, other: "AbsState") -> "AbsState":
+        return self._merge(other, "join")
+
+    def widen(self, other: "AbsState") -> "AbsState":
+        return self._merge(other, "widen")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbsState):
+            return NotImplemented
+        return (
+            self.ofr == other.ofr
+            and self.steps == other.steps
+            and self._normalized(self.pushed) == self._normalized(other.pushed)
+            and self._normalized(self.drained)
+            == self._normalized(other.drained)
+        )
+
+    @staticmethod
+    def _normalized(counters: Dict[int, Interval]) -> Dict[int, Interval]:
+        return {k: v for k, v in counters.items() if v != ZERO}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"AbsState(ofr={self.ofr}, pushed={self.pushed}, "
+                f"drained={self.drained}, steps={self.steps})")

@@ -1,0 +1,346 @@
+"""The microcode verifier: orchestration of all analysis phases.
+
+:func:`verify_program` is the single entry point.  It layers three
+phases, each feeding the next:
+
+* **Phase A -- local scan.**  Stateless per-instruction checks that
+  need no control-flow knowledge: FIFO and bank operand ranges, static
+  ``offset + count`` windows, unsatisfiable ``waitf`` levels, the
+  OFR-setup warning.  These run on *every* program, however broken its
+  control flow, so diagnostics stay useful on garbage input.
+* **Phase B -- control flow.**  The CFG builder's structural problems
+  (loop balance, jmp range/structure, infinite loops), plus
+  reachability facts: dead code, paths falling off the end of the
+  program.
+* **Phase C -- abstract interpretation.**  Only when the control flow
+  is structured (phase B found nothing): interval analysis of FIFO
+  volumes, the OFR register and the step count, with loop
+  acceleration.  Produces the effective-offset window checks, the
+  RAC appetite/ordering checks, and the worst-case step bound.
+
+The soundness contract (enforced by ``tests/test_verify_soundness.py``)
+is one-directional: a program reported *clean* runs to completion on
+:mod:`repro.core.refmodel` without trap or hang.  Imprecision is
+therefore always resolved towards flagging more, never less.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.isa import (
+    FIFODirection,
+    FROM_COPROCESSOR_OPS,
+    INDEXED_OPS,
+    MAX_OFFSET,
+    OuInstruction,
+    OuOp,
+    TERMINATOR_OPS,
+    TO_COPROCESSOR_OPS,
+)
+from ..rac.base import RAC, StreamingRAC
+from .absint import Analyzer
+from .cfg import build_cfg
+from .diagnostics import VerifyReport
+from .domain import AbsState, Interval
+
+#: default worst-case executed-instruction budget, matching the
+#: reference model's ``max_steps`` so "clean" implies "completes there"
+DEFAULT_STEP_BUDGET = 100_000
+
+
+def verify_program(
+    program: Sequence[OuInstruction],
+    rac: Optional[RAC] = None,
+    configured_banks: Optional[Set[int]] = None,
+    bank_windows: Optional[Dict[int, int]] = None,
+    step_budget: Optional[int] = DEFAULT_STEP_BUDGET,
+    suppress: Optional[Iterable[str]] = None,
+) -> VerifyReport:
+    """Statically verify a microcode program.
+
+    Parameters
+    ----------
+    rac:
+        When given, FIFO operands and (for streaming RACs) data volumes
+        are checked against the accelerator's port specification.
+    configured_banks:
+        When given, every referenced bank must be in the set (bank 0,
+        the microcode bank, is implicitly configured).
+    bank_windows:
+        Bank number -> window size in words (derived from the memory
+        map by :mod:`repro.verify.contracts`); transfers may not run
+        past it.
+    step_budget:
+        Flag programs whose worst-case executed-instruction count
+        exceeds this (``None`` disables the check).
+    suppress:
+        Diagnostic codes to move aside (see
+        :meth:`VerifyReport.apply_suppressions`).
+    """
+    report = VerifyReport()
+    program = list(program)
+    if not program:
+        report.add("OU001", 0, "empty program")
+        report.apply_suppressions(suppress or ())
+        return report
+
+    n = len(program)
+    n_in = len(rac.ports.input_widths) if rac is not None else None
+    n_out = len(rac.ports.output_widths) if rac is not None else None
+    depth = rac.ports.fifo_depth if rac is not None else None
+
+    # -- phase A: local per-instruction checks ---------------------------
+    has_terminator = any(i.op in TERMINATOR_OPS for i in program)
+    if not has_terminator:
+        report.add("OU002", n - 1,
+                   "no eop/halt: the controller will run past the program")
+    ofr_setup_seen = False
+    for index, instr in enumerate(program):
+        op = instr.op
+        if op in (OuOp.ADDOFR, OuOp.CLROFR):
+            ofr_setup_seen = True
+        if instr.is_transfer():
+            if configured_banks is not None:
+                if instr.bank not in (set(configured_banks) | {0}):
+                    report.add("OU020", index,
+                               f"bank {instr.bank} is never configured")
+            if instr.offset + instr.count - 1 > MAX_OFFSET:
+                report.add(
+                    "OU021", index,
+                    f"transfer [{instr.offset}+{instr.count}] exceeds the "
+                    f"{MAX_OFFSET + 1}-word bank window",
+                )
+            if (bank_windows is not None and instr.bank in bank_windows
+                    and instr.offset + instr.count
+                    > bank_windows[instr.bank]):
+                report.add(
+                    "OU022", index,
+                    f"transfer [{instr.offset}+{instr.count}] on bank "
+                    f"{instr.bank} runs past its mapped region "
+                    f"({bank_windows[instr.bank]} words)",
+                )
+            if op in TO_COPROCESSOR_OPS and n_in is not None \
+                    and instr.fifo >= n_in:
+                report.add(
+                    "OU030", index,
+                    f"{instr.mnemonic()} addresses input FIFO{instr.fifo} "
+                    f"but the RAC has {n_in}",
+                )
+            if op in FROM_COPROCESSOR_OPS and n_out is not None \
+                    and instr.fifo >= n_out:
+                report.add(
+                    "OU031", index,
+                    f"{instr.mnemonic()} addresses output FIFO{instr.fifo} "
+                    f"but the RAC has {n_out}",
+                )
+            if op in INDEXED_OPS and not ofr_setup_seen:
+                report.add(
+                    "OU023", index,
+                    "indexed transfer before any addofr/clrofr: OFR is 0 "
+                    "at start, was that intended?",
+                )
+        elif op is OuOp.WAITF and rac is not None:
+            is_input = instr.direction is FIFODirection.INPUT
+            limit = n_in if is_input else n_out
+            if limit is not None and instr.fifo >= limit:
+                report.add(
+                    "OU032", index,
+                    f"waitf addresses FIFO{instr.fifo} beyond the RAC's "
+                    "ports",
+                )
+            elif depth is not None and instr.count > depth:
+                side = "free words in" if is_input else "words in"
+                report.add(
+                    "OU038", index,
+                    f"waitf waits for {instr.count} {side} a FIFO of depth "
+                    f"{depth}: the condition can never hold",
+                )
+
+    # -- phase B: control flow -------------------------------------------
+    cfg = build_cfg(program)
+    for code, index, message in cfg.problems:
+        report.add(code, index, message)
+    for lo, hi in cfg.dead_ranges():
+        where = f"instruction {lo}" if lo == hi else f"instructions {lo}..{hi}"
+        report.add("OU010", lo, f"{where} unreachable from the entry")
+    if has_terminator:
+        for block in cfg.blocks:
+            if block.id in cfg.reachable and block.falls_off_end:
+                report.add(
+                    "OU008", block.end,
+                    f"control flow falls off the end of the program after "
+                    f"instr {block.end} without reaching eop/halt",
+                )
+
+    # -- phase C: abstract interpretation --------------------------------
+    if cfg.structured and cfg.acyclic_order() is not None:
+        _run_analysis(report, cfg, program, rac, bank_windows, step_budget)
+
+    _dedup(report)
+    report.sort()
+    report.apply_suppressions(suppress or ())
+    return report
+
+
+def _min_ops_lo(state: AbsState, items_in: Sequence[int]) -> int:
+    """Lower bound on completed RAC operations given pushed volumes."""
+    ops = None
+    for port, need in enumerate(items_in):
+        if need <= 0:
+            continue
+        lo = state.get_pushed(port).lo // need
+        ops = lo if ops is None else min(ops, lo)
+    return ops or 0
+
+
+def _run_analysis(
+    report: VerifyReport,
+    cfg,
+    program: Sequence[OuInstruction],
+    rac: Optional[RAC],
+    bank_windows: Optional[Dict[int, int]],
+    step_budget: Optional[int],
+) -> None:
+    streaming = rac if isinstance(rac, StreamingRAC) else None
+    n_out = len(rac.ports.output_widths) if rac is not None else None
+
+    def check(index: int, instr: OuInstruction, state: AbsState) -> None:
+        if not instr.is_transfer():
+            return
+        if instr.op in INDEXED_OPS:
+            eff_hi = instr.offset + state.ofr.hi
+            if eff_hi + instr.count - 1 > MAX_OFFSET:
+                report.add(
+                    "OU021", index,
+                    f"indexed transfer reaches offset "
+                    f"{eff_hi + instr.count - 1} (OFR up to {state.ofr.hi}) "
+                    f"beyond the {MAX_OFFSET + 1}-word bank window",
+                )
+            if (bank_windows is not None and instr.bank in bank_windows
+                    and eff_hi + instr.count > bank_windows[instr.bank]):
+                report.add(
+                    "OU022", index,
+                    f"indexed transfer reaches word "
+                    f"{eff_hi + instr.count} on bank {instr.bank}, past "
+                    f"its mapped region ({bank_windows[instr.bank]} words)",
+                )
+        if (streaming is not None and instr.op in FROM_COPROCESSOR_OPS
+                and n_out is not None and instr.fifo < n_out):
+            produce = streaming.items_out[instr.fifo]
+            produced_lo = _min_ops_lo(state, streaming.items_in) * produce
+            drained_hi = state.get_drained(instr.fifo).hi + instr.count
+            if drained_hi > produced_lo:
+                report.add(
+                    "OU034", index,
+                    f"output FIFO{instr.fifo} is drained of up to "
+                    f"{drained_hi} words but only {produced_lo} are "
+                    "produced by this point: mvfc will hang",
+                )
+
+    exit_state = Analyzer(cfg).run(check)
+    if exit_state is None:
+        return
+
+    if exit_state.steps.bounded:
+        report.max_steps = int(exit_state.steps.hi)
+        if step_budget is not None and exit_state.steps.hi > step_budget:
+            report.add(
+                "OU011", None,
+                f"worst-case instruction count {int(exit_state.steps.hi)} "
+                f"exceeds the step budget {step_budget}",
+            )
+    else:  # pragma: no cover - acceleration always yields finite bounds
+        report.add("OU039", None,
+                   "could not bound the program's execution")
+
+    if streaming is not None:
+        _check_appetite(report, cfg, streaming, exit_state)
+
+
+def _check_appetite(
+    report: VerifyReport,
+    cfg,
+    rac: StreamingRAC,
+    exit_state: AbsState,
+) -> None:
+    """Whole-program data-volume contracts against a streaming RAC."""
+    unbounded = [
+        v for v in list(exit_state.pushed.values())
+        + list(exit_state.drained.values()) if not v.bounded
+    ]
+    if unbounded:  # pragma: no cover - defensive, see OU039 rationale
+        report.add("OU039", None,
+                   "could not bound the program's FIFO volumes")
+        return
+
+    for port, need in enumerate(rac.items_in):
+        moved = exit_state.get_pushed(port)
+        if moved.hi == 0 or need <= 0:
+            continue
+        if moved.is_point:
+            if moved.lo % need:
+                report.add(
+                    "OU033", None,
+                    f"input FIFO{port} receives {moved.lo} words but the "
+                    f"RAC consumes multiples of {need}: the last operation "
+                    "will starve",
+                )
+        elif need != 1:
+            # a genuinely uncertain volume can only be a provable
+            # multiple when every word count is (need == 1)
+            report.add(
+                "OU033", None,
+                f"input FIFO{port} receives between {moved.lo} and "
+                f"{moved.hi} words; cannot prove a multiple of {need}: "
+                "the last operation may starve",
+            )
+
+    need0 = rac.items_in[0] if rac.items_in else 0
+    pushed0 = exit_state.get_pushed(0)
+    ops = (Interval(pushed0.lo // need0, pushed0.hi // need0)
+           if need0 else Interval.point(0))
+    for port, produce in enumerate(rac.items_out):
+        drained = exit_state.get_drained(port)
+        expected = ops.scale(Interval.point(produce))
+        if drained.hi < expected.lo:
+            report.add(
+                "OU035", None,
+                f"output FIFO{port} produces {expected.lo} words but only "
+                f"{drained.hi} are drained: residue left in the FIFO",
+            )
+
+    alive = cfg.reachable_instructions()
+    exec_seen = any(
+        cfg.program[idx].op in (OuOp.EXEC, OuOp.EXECS) for idx in alive
+    )
+    any_pushed = any(v.hi > 0 for v in exit_state.pushed.values())
+    if any_pushed and not exec_seen and not rac.autostart:
+        report.add(
+            "OU036", None,
+            "data is pushed but the RAC is never started "
+            "(no exec/execs and autostart is off)",
+        )
+    if not rac.autostart:
+        depth = rac.ports.fifo_depth
+        for port in sorted(exit_state.pushed):
+            moved = exit_state.get_pushed(port)
+            if moved.hi > depth:
+                report.add(
+                    "OU037", None,
+                    f"{moved.hi} words pushed to input FIFO{port} before "
+                    f"any consumption with depth {depth}: the transfer "
+                    "engine will deadlock",
+                )
+
+
+def _dedup(report: VerifyReport) -> None:
+    """Drop repeated (code, index, message) findings, keeping the first."""
+    seen: Set[Tuple[str, Optional[int], str]] = set()
+    kept = []
+    for finding in report.findings:
+        key = (finding.code, finding.index, finding.message)
+        if key not in seen:
+            seen.add(key)
+            kept.append(finding)
+    report.findings = kept

@@ -225,6 +225,36 @@ def test_cpu_assembler_error_discipline(source):
     _assert_only_assembler_errors(assemble, source)
 
 
+# ---------------------------------------------------------------------------
+# verifier totality: never crashes, always terminates, on any program
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(ou_instructions, min_size=0, max_size=32))
+def test_verifier_is_total_on_arbitrary_programs(instrs):
+    """The static verifier must analyze *any* decodable sequence.
+
+    No exception may escape (the CFG builder and abstract interpreter
+    see unterminated programs, unbalanced loops, jumps into loop
+    bodies, ...), every finding must carry a cataloged code, and both
+    renderers must work on the result.
+    """
+    from repro.rac.scale import ScaleRac
+    from repro.verify import CATALOG, verify_program
+
+    for rac in (None, ScaleRac(block_size=8)):
+        report = verify_program(
+            instrs, rac=rac, configured_banks={1, 2},
+            bank_windows={1: 64, 2: 4096},
+        )
+        assert all(f.code in CATALOG for f in report.findings)
+        assert isinstance(report.render(), str)
+        assert isinstance(report.render_json(), str)
+        # max_steps is None exactly when the interpreter could not run
+        # (empty or structurally broken program)
+        assert report.max_steps is None or report.max_steps >= 0
+
+
 def test_known_bad_sources_raise_assembler_error():
     """Deterministic pins for the classic parser leak spots."""
     for source in (

@@ -151,3 +151,72 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+# ---------------------------------------------------------------------------
+# verify subcommand & the exit-code contract (0 clean / 1 errors / 2 usage)
+# ---------------------------------------------------------------------------
+
+def test_lint_json_output(microcode_file, capsys):
+    import json
+
+    code = main(["lint", microcode_file, "--rac", "dft:32",
+                 "--banks", "1", "2", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    assert payload["findings"] == []
+
+
+def test_lint_json_carries_diagnostic_codes(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.ouasm"
+    bad.write_text("mvtc BANK1,0,DMA64,FIFO5\n")  # no eop, bad fifo
+    code = main(["lint", str(bad), "--rac", "idct", "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    codes = {f["code"] for f in payload["findings"]}
+    assert "OU002" in codes
+    assert "OU030" in codes
+
+
+def test_verify_enforces_mapped_bank_size(microcode_file, capsys):
+    # the fixture bursts 64 words through bank 1; map only 32
+    code = main(["verify", microcode_file, "--bank-size", "1=32"])
+    assert code == 1
+    assert "OU022" in capsys.readouterr().out
+    assert main(["verify", microcode_file, "--bank-size", "1=64"]) == 0
+
+
+def test_verify_step_budget(tmp_path, capsys):
+    src = tmp_path / "slow.ouasm"
+    src.write_text("loop 4000\nnop\nendl\neop\n")
+    assert main(["verify", str(src)]) == 0
+    code = main(["verify", str(src), "--step-budget", "1000"])
+    assert code == 1
+    assert "OU011" in capsys.readouterr().out
+
+
+def test_verify_detects_infinite_loop(tmp_path, capsys):
+    src = tmp_path / "spin.ouasm"
+    src.write_text("nop\njmp 0\neop\n")
+    code = main(["verify", str(src)])
+    assert code == 1
+    assert "OU009" in capsys.readouterr().out
+
+
+def test_suppress_turns_errors_into_exit_zero(tmp_path, capsys):
+    src = tmp_path / "nobank.ouasm"
+    src.write_text("mvtc BANK5,0,DMA16,FIFO0\neop\n")
+    assert main(["verify", str(src), "--banks", "1", "2"]) == 1
+    capsys.readouterr()
+    code = main(["verify", str(src), "--banks", "1", "2",
+                 "--suppress", "OU020"])
+    assert code == 0
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_bad_bank_size_spec_is_exit_2(microcode_file, capsys):
+    assert main(["verify", microcode_file, "--bank-size", "one=32"]) == 2
+    assert main(["verify", microcode_file, "--bank-size", "32"]) == 2

@@ -156,3 +156,34 @@ def test_multi_port_rac_volumes():
 
 def test_render_clean():
     assert "clean" in render_diagnostics([])
+
+
+def test_transfer_past_bank_window_detected():
+    """Regression: offset+count beyond the 14-bit bank window.
+
+    The old linear scan never checked transfer bounds, so a burst
+    wrapping past the 16384-word window sailed through lint and
+    faulted on hardware.  The check must surface through the legacy
+    API, anchored to the offending instruction.
+    """
+    from repro.core.isa import MAX_OFFSET
+
+    program = (OuProgram().mvtc(1, MAX_OFFSET - 3, 16).execs()
+               .mvfc(2, 0, 16).eop())
+    diags = lint_program(program.instructions)
+    offending = [d for d in errors(diags) if "window" in d.message]
+    assert offending, render_diagnostics(diags)
+    assert offending[0].index == 0
+    # boundary: a burst ending exactly at the window's last word is legal
+    ok = (OuProgram().mvtc(1, MAX_OFFSET - 15, 16).execs()
+          .mvfc(2, 0, 16).eop())
+    assert not errors(lint_program(ok.instructions))
+
+
+def test_indexed_transfer_past_window_through_loop_detected():
+    """The OFR walk inside a hardware loop is bounded, too."""
+    program = (OuProgram()
+               .clrofr().loop(300).mvtcx(1, 0, 64).addofr(64).endl()
+               .execs().eop())
+    diags = lint_program(program.instructions)
+    assert any("window" in d.message for d in errors(diags))

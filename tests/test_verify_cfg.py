@@ -1,0 +1,122 @@
+"""CFG construction: blocks, edges, loops, reachability, cycles."""
+
+from repro.core.program import OuProgram, figure4_looped_program
+from repro.verify.cfg import build_cfg
+
+
+def _codes(cfg):
+    return [code for code, _index, _msg in cfg.problems]
+
+
+def test_straight_line_is_one_block():
+    program = (OuProgram()
+               .mvtc(1, 0, 16).execs().mvfc(2, 0, 16).eop().instructions)
+    cfg = build_cfg(program)
+    assert len(cfg.blocks) == 1
+    block = cfg.blocks[0]
+    assert (block.start, block.end) == (0, 3)
+    assert block.successors == []
+    assert not block.falls_off_end
+    assert cfg.structured
+    assert cfg.acyclic_order() == [0]
+
+
+def test_loop_blocks_and_back_edge():
+    program = figure4_looped_program(256).instructions
+    cfg = build_cfg(program)
+    assert cfg.structured
+    assert len(cfg.loops) == 2
+    first, second = cfg.loops
+    assert (first.loop_index, first.endl_index, first.trip) == (1, 4, 8)
+    assert (second.loop_index, second.endl_index, second.trip) == (7, 10, 8)
+    endl_block = cfg.block_at(first.endl_index)
+    assert endl_block.back_edge == cfg.block_of[first.loop_index + 1]
+    # the back-edge target and the exit edge are both successors
+    assert set(endl_block.successors) == {
+        cfg.block_of[first.loop_index + 1],
+        cfg.block_of[first.endl_index + 1],
+    }
+    # topological order exists and every reachable block appears once
+    order = cfg.acyclic_order()
+    assert sorted(order) == sorted(cfg.reachable)
+
+
+def test_jmp_out_of_range_is_a_problem():
+    program = OuProgram().jmp(9).eop().instructions
+    cfg = build_cfg(program)
+    assert "OU003" in _codes(cfg)
+
+
+def test_loop_balance_problems():
+    nested = (OuProgram().loop(2).loop(2).nop().endl().endl().eop()
+              .instructions)
+    assert "OU004" in _codes(build_cfg(nested))
+    orphan = OuProgram().endl().eop().instructions
+    assert "OU005" in _codes(build_cfg(orphan))
+    unclosed = OuProgram().loop(4).nop().eop().instructions
+    assert "OU006" in _codes(build_cfg(unclosed))
+
+
+def test_jmp_into_loop_body_is_unstructured():
+    program = (OuProgram()
+               .jmp(3)               # 0: into the body
+               .loop(4)              # 1
+               .nop()                # 2
+               .nop()                # 3
+               .endl()               # 4
+               .eop()                # 5
+               .instructions)
+    cfg = build_cfg(program)
+    assert "OU007" in _codes(cfg)
+
+
+def test_jmp_out_of_loop_body_is_unstructured():
+    program = (OuProgram()
+               .loop(4)              # 0
+               .jmp(3)               # 1: escapes the body
+               .endl()               # 2
+               .eop()                # 3
+               .instructions)
+    cfg = build_cfg(program)
+    assert "OU007" in _codes(cfg)
+
+
+def test_unconditional_jmp_cycle_is_infinite():
+    program = OuProgram().nop().jmp(0).eop().instructions
+    cfg = build_cfg(program)
+    assert "OU009" in _codes(cfg)
+    assert cfg.acyclic_order() is None
+
+
+def test_endl_back_edge_is_not_an_infinite_cycle():
+    program = OuProgram().loop(3).nop().endl().eop().instructions
+    cfg = build_cfg(program)
+    assert cfg.structured
+    assert cfg.acyclic_order() is not None
+
+
+def test_dead_code_after_eop():
+    program = OuProgram().eop().nop().nop().instructions
+    cfg = build_cfg(program)
+    assert cfg.dead_ranges() == [(1, 2)]
+
+
+def test_jmp_skipping_instructions_marks_them_dead():
+    program = OuProgram().jmp(3).nop().nop().eop().instructions
+    cfg = build_cfg(program)
+    assert cfg.dead_ranges() == [(1, 2)]
+    assert cfg.reachable_instructions() == {0, 3}
+
+
+def test_falls_off_end_detected():
+    program = OuProgram().jmp(2).eop().nop().instructions
+    cfg = build_cfg(program)
+    tail = cfg.block_at(2)
+    assert tail.falls_off_end
+    assert tail.id in cfg.reachable
+
+
+def test_empty_program_builds_empty_cfg():
+    cfg = build_cfg([])
+    assert cfg.blocks == []
+    assert cfg.structured

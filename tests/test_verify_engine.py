@@ -1,0 +1,345 @@
+"""The microcode verifier: diagnostics, domains, cross-layer contracts."""
+
+import json
+
+import pytest
+
+from repro.core.isa import MAX_OFFSET, OuInstruction, OuOp
+from repro.core.program import (
+    OuProgram,
+    figure4_looped_program,
+    figure4_program,
+)
+from repro.rac.base import RAC, RACPortSpec
+from repro.rac.dft import DFTRac
+from repro.rac.scale import PassthroughRac, ScaleRac
+from repro.sim.errors import ConfigurationError, DriverError
+from repro.sw.driver import OuessantDriver
+from repro.system import RAM_BASE, SoC
+from repro.verify import CATALOG, verify_program
+from repro.verify.contracts import bank_windows_from_map, verify_on_soc
+
+
+def codes(report):
+    return [f.code for f in report.findings]
+
+
+def error_codes(report):
+    return [f.code for f in report.errors]
+
+
+# ---------------------------------------------------------------------------
+# diagnostics catalog
+# ---------------------------------------------------------------------------
+
+def test_catalog_codes_are_stable_and_unique():
+    assert all(code == entry.code for code, entry in CATALOG.items())
+    assert all(code.startswith("OU") and len(code) == 5 for code in CATALOG)
+    severities = {entry.severity for entry in CATALOG.values()}
+    assert severities == {"error", "warning"}
+
+
+def test_every_reported_code_is_in_the_catalog():
+    # a sampler across all phases
+    programs = [
+        [],
+        OuProgram().nop().instructions,
+        OuProgram().jmp(0).eop().instructions,
+        OuProgram().endl().loop(2).eop().instructions,
+        OuProgram().mvtc(5, 16380, 16, fifo=7).eop().nop().instructions,
+    ]
+    for program in programs:
+        report = verify_program(program, rac=ScaleRac(block_size=16),
+                                configured_banks={1})
+        assert set(codes(report)) <= set(CATALOG)
+
+
+# ---------------------------------------------------------------------------
+# structure & control flow findings
+# ---------------------------------------------------------------------------
+
+def test_empty_program_is_ou001():
+    assert error_codes(verify_program([])) == ["OU001"]
+
+
+def test_missing_terminator_is_ou002():
+    report = verify_program(OuProgram().nop().instructions)
+    assert "OU002" in error_codes(report)
+
+
+def test_jmp_over_eop_is_run_past_end():
+    report = verify_program(OuProgram().jmp(2).eop().nop().instructions)
+    assert "OU008" in error_codes(report)
+
+
+def test_infinite_jmp_cycle_is_ou009():
+    report = verify_program(OuProgram().nop().jmp(0).eop().instructions)
+    assert "OU009" in error_codes(report)
+
+
+def test_dead_code_is_a_warning_not_an_error():
+    report = verify_program(OuProgram().eop().nop().instructions)
+    assert report.clean
+    assert "OU010" in codes(report)
+
+
+def test_step_budget_and_exact_step_bound():
+    report = verify_program(figure4_program(256).instructions)
+    assert report.max_steps == 18
+    report = verify_program(figure4_looped_program(256).instructions)
+    assert report.max_steps == 54  # 2 x (2 + 8*3) + execs + eop
+    over = OuProgram().loop(4000).nop().endl().eop().instructions
+    report = verify_program(over, step_budget=1000)
+    assert "OU011" in error_codes(report)
+    assert report.max_steps == 8002
+
+
+# ---------------------------------------------------------------------------
+# banks, offsets, windows
+# ---------------------------------------------------------------------------
+
+def test_static_bank_window_overflow_is_ou021():
+    program = (OuProgram()
+               .mvtc(1, MAX_OFFSET - 3, 16).execs()
+               .mvfc(2, 0, 16).eop().instructions)
+    report = verify_program(program)
+    assert "OU021" in error_codes(report)
+
+
+def test_ofr_accumulation_overflows_window_through_loop():
+    # 300 iterations x 64 words walks OFR far past the 14-bit window
+    program = (OuProgram()
+               .clrofr().loop(300).mvtcx(1, 0, 64).addofr(64).endl()
+               .execs().stream_from(2, 64).eop().instructions)
+    report = verify_program(program)
+    assert "OU021" in error_codes(report)
+    # the same loop with 8 iterations stays comfortably inside
+    ok = (OuProgram()
+          .clrofr().loop(8).mvtcx(1, 0, 64).addofr(64).endl()
+          .execs().stream_from(2, 512).eop().instructions)
+    assert "OU021" not in codes(verify_program(ok))
+
+
+def test_mapped_size_overflow_is_ou022():
+    program = (OuProgram()
+               .mvtc(1, 0, 64).execs().mvfc(2, 0, 64).eop().instructions)
+    report = verify_program(program, bank_windows={1: 32})
+    assert "OU022" in error_codes(report)
+    assert "OU022" not in codes(
+        verify_program(program, bank_windows={1: 64})
+    )
+
+
+def test_indexed_transfer_respects_mapped_window():
+    program = (OuProgram()
+               .clrofr().loop(4).mvtcx(1, 0, 16).addofr(16).endl()
+               .execs().stream_from(2, 64).eop().instructions)
+    # 4 x 16 = 64 words needed; a 32-word window overflows on later trips
+    assert "OU022" in error_codes(
+        verify_program(program, bank_windows={1: 32})
+    )
+    assert "OU022" not in codes(
+        verify_program(program, bank_windows={1: 64})
+    )
+
+
+def test_unconfigured_bank_is_ou020():
+    program = OuProgram().mvtc(5, 0, 4).eop().instructions
+    report = verify_program(program, configured_banks={1, 2})
+    assert "OU020" in error_codes(report)
+
+
+# ---------------------------------------------------------------------------
+# RAC contracts: ranges, volumes, ordering
+# ---------------------------------------------------------------------------
+
+def test_non_streaming_rac_checks_operands_not_volumes():
+    """A plain RAC has ports but no appetite: only ranges are checked."""
+    rac = RAC("custom", ports=RACPortSpec([32, 32], [32], fifo_depth=8))
+    bad = (OuProgram()
+           .mvtc(1, 0, 5, fifo=2)   # only input FIFO0/1 exist
+           .mvfc(2, 0, 3, fifo=1)   # only output FIFO0 exists
+           .eop().instructions)
+    report = verify_program(bad, rac=rac)
+    assert "OU030" in error_codes(report)
+    assert "OU031" in error_codes(report)
+    # in-range odd volumes are fine: no appetite contract to violate
+    ok = (OuProgram()
+          .mvtc(1, 0, 5, fifo=1).exec_().mvfc(2, 0, 3).eop().instructions)
+    assert verify_program(ok, rac=rac).clean
+
+
+def test_waitf_direction_selects_the_port_space():
+    rac = RAC("custom", ports=RACPortSpec([32, 32], [32], fifo_depth=64))
+    program = (OuProgram()
+               .waitf("in", 1, 4)    # input FIFO1 exists
+               .waitf("out", 0, 4)   # output FIFO0 exists
+               .eop().instructions)
+    assert verify_program(program, rac=rac).clean
+    bad_out = OuProgram().waitf("out", 1, 4).eop().instructions
+    report = verify_program(bad_out, rac=rac)
+    assert "OU032" in error_codes(report)
+    # the same FIFO index is legal on the *input* side
+    ok_in = OuProgram().waitf("in", 1, 4).eop().instructions
+    assert verify_program(ok_in, rac=rac).clean
+
+
+def test_waitf_level_beyond_depth_is_unsatisfiable():
+    rac = RAC("custom", ports=RACPortSpec([32], [32], fifo_depth=16))
+    for direction in ("in", "out"):
+        program = OuProgram().waitf(direction, 0, 17).eop().instructions
+        assert "OU038" in error_codes(verify_program(program, rac=rac))
+        program = OuProgram().waitf(direction, 0, 16).eop().instructions
+        assert verify_program(program, rac=rac).clean
+
+
+def test_drain_before_push_is_flagged():
+    """Ordering matters: totals match but the pop happens too early."""
+    program = (OuProgram()
+               .mvfc(2, 0, 16).mvtc(1, 0, 16).execs().eop().instructions)
+    report = verify_program(program, rac=ScaleRac(block_size=16))
+    assert "OU034" in error_codes(report)
+    # the reverse order is the canonical clean shape
+    ok = (OuProgram()
+          .mvtc(1, 0, 16).execs().mvfc(2, 0, 16).eop().instructions)
+    assert verify_program(ok, rac=ScaleRac(block_size=16)).clean
+
+
+def test_pipelined_loop_is_exact_not_overapproximated():
+    """Push and drain inside one loop body must not false-positive."""
+    program = (OuProgram()
+               .loop(8).mvtc(1, 0, 16).mvfc(2, 0, 16).endl()
+               .eop().instructions)
+    report = verify_program(program, rac=ScaleRac(block_size=16))
+    assert report.clean
+
+
+def test_streaming_volume_findings_survive_the_rewrite():
+    rac = PassthroughRac(block_size=128, fifo_depth=64, autostart=False)
+    program = (OuProgram()
+               .stream_to(1, 128).execs().stream_from(2, 128)
+               .eop().instructions)
+    report = verify_program(program, rac=rac, configured_banks={1, 2})
+    assert "OU037" in error_codes(report)
+    starve = (OuProgram()
+              .mvtc(1, 0, 24).execs().mvfc(2, 0, 16).eop().instructions)
+    report = verify_program(starve, rac=ScaleRac(block_size=16))
+    assert "OU033" in error_codes(report)
+    residue = (OuProgram()
+               .mvtc(1, 0, 16).execs().mvfc(2, 0, 8).eop().instructions)
+    report = verify_program(residue, rac=ScaleRac(block_size=16))
+    assert report.clean
+    assert "OU035" in codes(report)
+    never = (OuProgram().mvtc(1, 0, 16).eop().instructions)
+    report = verify_program(
+        never, rac=PassthroughRac(block_size=16, autostart=False))
+    assert "OU036" in error_codes(report)
+
+
+# ---------------------------------------------------------------------------
+# report surface: suppression, JSON, rendering
+# ---------------------------------------------------------------------------
+
+def test_suppression_moves_findings_aside_but_keeps_them():
+    program = OuProgram().eop().nop().instructions
+    report = verify_program(program, suppress=["OU010"])
+    assert report.clean
+    assert codes(report) == []
+    assert [f.code for f in report.suppressed] == ["OU010"]
+    assert "suppressed" in report.render()
+
+
+def test_suppressing_an_error_code_makes_the_report_clean():
+    program = OuProgram().mvtc(5, 0, 4).eop().instructions
+    report = verify_program(program, configured_banks={1})
+    assert not report.clean
+    report = verify_program(program, configured_banks={1},
+                            suppress=["OU020"])
+    assert report.clean
+
+
+def test_json_report_is_machine_readable():
+    program = OuProgram().mvtc(5, 0, 4).eop().nop().instructions
+    report = verify_program(program, configured_banks={1})
+    payload = json.loads(report.render_json())
+    assert payload["clean"] is False
+    assert payload["errors"] >= 1
+    assert isinstance(payload["max_steps"], int)
+    finding = payload["findings"][0]
+    assert set(finding) == {"code", "severity", "index", "message", "title"}
+    assert finding["title"] == CATALOG[finding["code"]].title
+
+
+def test_clean_render_message():
+    report = verify_program(figure4_program(256).instructions)
+    assert report.render() == "clean: no findings"
+
+
+# ---------------------------------------------------------------------------
+# cross-layer contracts: memory map, driver, codegen, OuProgram
+# ---------------------------------------------------------------------------
+
+def test_bank_windows_from_map_resolves_spans_and_unmapped():
+    soc = SoC(racs=[ScaleRac(block_size=16)])
+    unmapped = max(r.end for r in soc.bus.memmap.regions) + 0x1000
+    windows, findings = bank_windows_from_map(
+        {0: RAM_BASE, 1: RAM_BASE + 64, 7: unmapped}, soc.bus.memmap
+    )
+    ram = soc.memory.size_bytes
+    assert windows[0] == ram // 4
+    assert windows[1] == (ram - 64) // 4
+    assert 7 not in windows
+    assert [f.code for f in findings] == ["OU025"]
+
+
+def test_verify_on_soc_enforces_mapped_region_size():
+    soc = SoC(racs=[ScaleRac(block_size=16)])
+    ram_end = RAM_BASE + soc.memory.size_bytes
+    banks = {0: RAM_BASE, 1: ram_end - 64, 2: RAM_BASE + 0x1000}
+    program = (OuProgram()
+               .mvtc(1, 0, 64).execs().mvfc(2, 0, 64).eop())
+    report = verify_on_soc(program, soc, banks)
+    # bank 1 has only 16 words of RAM left: the 64-word burst overflows
+    assert "OU022" in [f.code for f in report.errors]
+    banks[1] = RAM_BASE + 0x2000
+    assert verify_on_soc(program, soc, banks).clean
+
+
+def test_driver_run_verify_rejects_bad_microcode_before_starting():
+    soc = SoC(racs=[ScaleRac(block_size=16)])
+    driver = OuessantDriver(soc)
+    bad = (OuProgram()
+           .mvtc(5, 0, 16).execs().mvfc(2, 0, 16).eop())
+    banks = {0: RAM_BASE, 1: RAM_BASE + 0x1000, 2: RAM_BASE + 0x2000}
+    start_cycle = soc.sim.cycle
+    with pytest.raises(DriverError):
+        driver.run(bad.words(), banks, verify=True)
+    assert soc.sim.cycle == start_cycle  # rejected before any bus traffic
+
+
+def test_driver_verify_microcode_reports_clean_for_good_program():
+    soc = SoC(racs=[ScaleRac(block_size=16)])
+    driver = OuessantDriver(soc)
+    good = (OuProgram()
+            .mvtc(1, 0, 16).execs().mvfc(2, 0, 16).eop())
+    banks = {0: RAM_BASE, 1: RAM_BASE + 0x1000, 2: RAM_BASE + 0x2000}
+    report = driver.verify_microcode(good.words(), banks)
+    assert report.clean
+
+
+def test_codegen_check_gates_rewrites():
+    from repro.core.codegen import compress_program, expand_program
+
+    good = figure4_program(256).instructions
+    compressed = compress_program(good, check=True)
+    assert expand_program(compressed, check=True)
+    unterminated = OuProgram().mvtc(1, 0, 4).instructions
+    with pytest.raises(ConfigurationError):
+        compress_program(unterminated, check=True)
+
+
+def test_ouprogram_verify_convenience():
+    report = figure4_program(256).verify(rac=DFTRac(n_points=256),
+                                         configured_banks={1, 2})
+    assert report.clean
+    assert report.max_steps == 18

@@ -1,0 +1,474 @@
+"""Differential soundness gate for the microcode verifier.
+
+Three properties, enforced over seeded random programs:
+
+1. **Soundness** — any program the verifier passes as *clean* runs to
+   completion on the functional reference model without trapping,
+   hanging, or exceeding the verifier's own worst-case step bound.
+2. **Strength** — the verifier flags at least 90% of a corpus of
+   seeded known-bad mutants, spanning every failure category.
+3. **Progress** — at least three mutant categories that the old
+   linear-scan linter (frozen below, verbatim from the pre-rewrite
+   ``core/lint.py``) passed silently are now caught.
+
+The generators are deterministic (``random.Random(seed)``) so CI
+failures reproduce locally without any environment coupling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import pytest
+
+from repro.core.firmware import plan_streaming_run
+from repro.core.isa import (
+    FIFODirection,
+    FROM_COPROCESSOR_OPS,
+    INDEXED_OPS,
+    MAX_OFFSET,
+    OuInstruction,
+    OuOp,
+    TO_COPROCESSOR_OPS,
+)
+from repro.core.program import (
+    OuProgram,
+    figure4_looped_program,
+    figure4_program,
+    idct_program,
+)
+from repro.core.refmodel import (
+    ReferenceMemory,
+    ReferenceRAC,
+    execute_reference,
+)
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.idct import IDCTRac
+from repro.rac.matmul import MatMulRac
+from repro.rac.scale import PassthroughRac, ScaleRac
+from repro.verify import verify_program
+
+BANKS = {bank: 0x100000 * (bank + 1) for bank in range(8)}
+ALL_BANKS = set(BANKS)
+
+
+# ---------------------------------------------------------------------------
+# the old linter, frozen
+#
+# Verbatim copy of the linear-scan `lint_program` this verifier
+# replaced (commit 9c29263), reduced to (index, severity, message)
+# tuples.  It is the differential baseline proving the new analysis
+# catches classes of bugs the scan could not see.
+# ---------------------------------------------------------------------------
+
+def legacy_linear_scan(
+    program: Sequence[OuInstruction],
+    rac=None,
+    configured_banks: Optional[Set[int]] = None,
+) -> List[Tuple[int, str, str]]:
+    from repro.rac.base import StreamingRAC
+
+    diags: List[Tuple[int, str, str]] = []
+    n_in = len(rac.ports.input_widths) if rac is not None else None
+    n_out = len(rac.ports.output_widths) if rac is not None else None
+    if not program:
+        return [(0, "error", "empty program")]
+    if not any(i.op in (OuOp.EOP, OuOp.HALT) for i in program):
+        diags.append((len(program) - 1, "error", "no eop/halt"))
+    loop_depth = 0
+    words_in: Dict[int, int] = {}
+    words_out: Dict[int, int] = {}
+    exec_seen = False
+    in_loop_multiplier = 1
+    for index, instr in enumerate(program):
+        op = instr.op
+        if op is OuOp.JMP and instr.imm >= len(program):
+            diags.append((index, "error", "jmp target outside program"))
+        if op is OuOp.LOOP:
+            loop_depth += 1
+            in_loop_multiplier = instr.imm
+            if loop_depth > 1:
+                diags.append((index, "error", "nested loop"))
+        if op is OuOp.ENDL:
+            if loop_depth == 0:
+                diags.append((index, "error", "endl without a loop"))
+            else:
+                loop_depth -= 1
+                in_loop_multiplier = 1
+        if op in (OuOp.EXEC, OuOp.EXECS):
+            exec_seen = True
+        if instr.is_transfer() and configured_banks is not None:
+            if instr.bank not in set(configured_banks) | {0}:
+                diags.append((index, "error",
+                              f"bank {instr.bank} is never configured"))
+        multiplier = in_loop_multiplier if loop_depth else 1
+        if op in TO_COPROCESSOR_OPS:
+            if n_in is not None and instr.fifo >= n_in:
+                diags.append((index, "error",
+                              f"mvtc addresses input FIFO{instr.fifo}"))
+            words_in[instr.fifo] = words_in.get(instr.fifo, 0) + (
+                instr.count * multiplier)
+        if op in FROM_COPROCESSOR_OPS:
+            if n_out is not None and instr.fifo >= n_out:
+                diags.append((index, "error",
+                              f"mvfc addresses output FIFO{instr.fifo}"))
+            words_out[instr.fifo] = words_out.get(instr.fifo, 0) + (
+                instr.count * multiplier)
+        if op is OuOp.WAITF and rac is not None:
+            limit = (n_in if instr.direction is FIFODirection.INPUT
+                     else n_out)
+            if limit is not None and instr.fifo >= limit:
+                diags.append((index, "error", "waitf beyond ports"))
+        if op in INDEXED_OPS and not any(
+            p.op in (OuOp.ADDOFR, OuOp.CLROFR) for p in program[:index]
+        ):
+            diags.append((index, "warning", "indexed transfer, OFR unset"))
+    if loop_depth != 0:
+        diags.append((len(program) - 1, "error", "loop never closed"))
+    if isinstance(rac, StreamingRAC):
+        for port, need in enumerate(rac.items_in):
+            moved = words_in.get(port, 0)
+            if moved and moved % need:
+                diags.append((len(program) - 1, "error",
+                              f"input FIFO{port} will starve"))
+        ops = (words_in.get(0, 0) // rac.items_in[0]
+               if rac.items_in[0] else 0)
+        for port, produce in enumerate(rac.items_out):
+            drained = words_out.get(port, 0)
+            expected = ops * produce
+            if drained > expected:
+                diags.append((len(program) - 1, "error",
+                              f"output FIFO{port}: mvfc will hang"))
+            elif drained < expected:
+                diags.append((len(program) - 1, "warning",
+                              f"output FIFO{port}: residue"))
+        if words_in and not exec_seen and not rac.autostart:
+            diags.append((len(program) - 1, "error", "never started"))
+        if not rac.autostart:
+            for port, moved in words_in.items():
+                if moved > rac.ports.fifo_depth:
+                    diags.append((len(program) - 1, "error",
+                                  f"FIFO{port} will deadlock"))
+    return diags
+
+
+def legacy_has_errors(program, rac=None, configured_banks=None) -> bool:
+    return any(
+        severity == "error"
+        for _i, severity, _m in legacy_linear_scan(
+            program, rac=rac, configured_banks=configured_banks)
+    )
+
+
+# ---------------------------------------------------------------------------
+# seeded program generators
+# ---------------------------------------------------------------------------
+
+def _well_formed(rng: random.Random):
+    """A program that should verify clean, by construction."""
+    block = rng.choice([4, 8, 16])
+    rac = ScaleRac(block_size=block)
+    n_ops = rng.randint(1, 6)
+    total = n_ops * block
+    shape = rng.randrange(4)
+    program = OuProgram()
+    if shape == 0:        # Figure 4: unrolled burst in / exec / burst out
+        if rng.random() < 0.5:
+            program.wait(rng.randint(1, 100))
+        program.stream_to(1, total, chunk=rng.choice([block, 64]))
+        program.execs()
+        program.stream_from(2, total, chunk=rng.choice([block, 64]))
+    elif shape == 1:      # hardware loop with OFR walking
+        program.clrofr().loop(n_ops)
+        program.mvtcx(1, 0, block).addofr(block).endl()
+        program.execs().clrofr().loop(n_ops)
+        program.mvfcx(2, 0, block).addofr(block).endl()
+    elif shape == 2:      # pipelined: push and drain inside one body
+        program.loop(n_ops).mvtc(1, 0, block)
+        if rng.random() < 0.5:
+            program.waitf("out", 0, min(block, 64))
+        program.mvfc(2, 0, block).endl()
+    else:                 # control-flow noise around a balanced transfer
+        program.jmp(2).nop()        # skips the nop: dead-code warning only
+        program.mvtc(1, 0, block).execs()
+        if rng.random() < 0.5:
+            program.sync()
+        program.mvfc(2, rng.randint(0, 64), block)
+    program.eop()
+    return program.instructions, rac
+
+
+def _hostile(rng: random.Random):
+    """Arbitrary decodable instructions: most are broken programs."""
+    rac = ScaleRac(block_size=rng.choice([4, 8, 16]))
+    length = rng.randint(1, 24)
+    instrs = []
+    for _ in range(length):
+        roll = rng.randrange(10)
+        if roll < 3:
+            instrs.append(OuInstruction(
+                rng.choice([OuOp.MVTC, OuOp.MVTCX]),
+                bank=rng.randrange(8), offset=rng.randrange(MAX_OFFSET + 1),
+                count=rng.randint(1, 128), fifo=rng.randrange(8)))
+        elif roll < 6:
+            instrs.append(OuInstruction(
+                rng.choice([OuOp.MVFC, OuOp.MVFCX]),
+                bank=rng.randrange(8), offset=rng.randrange(MAX_OFFSET + 1),
+                count=rng.randint(1, 128), fifo=rng.randrange(8)))
+        elif roll == 6:
+            instrs.append(OuInstruction(OuOp.JMP,
+                                        imm=rng.randrange(length + 2)))
+        elif roll == 7:
+            instrs.append(OuInstruction(
+                rng.choice([OuOp.LOOP, OuOp.ENDL]),
+                imm=rng.randint(1, 64)))
+        else:
+            instrs.append(OuInstruction(rng.choice([
+                OuOp.NOP, OuOp.EXEC, OuOp.EXECS, OuOp.SYNC, OuOp.IRQ,
+                OuOp.ADDOFR, OuOp.CLROFR, OuOp.EOP, OuOp.HALT])))
+    return instrs, rac
+
+
+def _run_reference(instrs, rac, max_steps):
+    memory = ReferenceMemory(
+        {BANKS[b] + 4 * i: (b * 1000 + i) & 0xFFFFFFFF
+         for b in range(1, 4) for i in range(256)}
+    )
+    return execute_reference(
+        instrs, BANKS, memory, ReferenceRAC.of(rac), max_steps=max_steps)
+
+
+# ---------------------------------------------------------------------------
+# property 1: clean => the reference model completes
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("family,n_seeds", [
+    (_well_formed, 120), (_hostile, 120),
+])
+def test_clean_programs_complete_on_the_reference_model(family, n_seeds):
+    clean = 0
+    for seed in range(n_seeds):
+        instrs, rac = family(random.Random(seed))
+        report = verify_program(instrs, rac=rac, configured_banks=ALL_BANKS)
+        if not report.clean:
+            continue
+        clean += 1
+        # no trap, no hang, and the step bound really bounds execution
+        executed = _run_reference(instrs, rac, max_steps=report.max_steps)
+        assert executed <= report.max_steps, (
+            f"seed {seed}: ran {executed} steps, verifier promised "
+            f"{report.max_steps}")
+    if family is _well_formed:
+        # the gate must not be vacuous
+        assert clean >= n_seeds * 3 // 4, (
+            f"only {clean}/{n_seeds} well-formed programs verified clean")
+
+
+# ---------------------------------------------------------------------------
+# property 2 & 3: mutants are flagged; several categories are new
+# ---------------------------------------------------------------------------
+
+def _base_clean(rng: random.Random):
+    """Unrolled clean program the mutation operators act on."""
+    block = rng.choice([8, 16])
+    rac = ScaleRac(block_size=block)
+    n_ops = rng.randint(1, 4)
+    total = n_ops * block
+    program = (OuProgram()
+               .stream_to(1, total, chunk=block).execs()
+               .stream_from(2, total, chunk=block).eop())
+    return program.instructions, rac
+
+
+def _first_index(instrs, ops):
+    return next(i for i, ins in enumerate(instrs) if ins.op in ops)
+
+
+def _mut_unterminated(instrs, rac, rng):
+    return [i for i in instrs if i.op is not OuOp.EOP], rac
+
+
+def _mut_unconfigured_bank(instrs, rac, rng):
+    at = _first_index(instrs, TO_COPROCESSOR_OPS)
+    out = list(instrs)
+    out[at] = dataclasses.replace(out[at], bank=rng.choice([5, 6, 7]))
+    return out, rac
+
+
+def _mut_bad_fifo(instrs, rac, rng):
+    at = _first_index(instrs, TO_COPROCESSOR_OPS)
+    out = list(instrs)
+    out[at] = dataclasses.replace(out[at], fifo=rng.randint(1, 7))
+    return out, rac
+
+
+def _mut_starve(instrs, rac, rng):
+    at = _first_index(instrs, TO_COPROCESSOR_OPS)
+    out = list(instrs)
+    out[at] = dataclasses.replace(out[at], count=out[at].count - 1)
+    return out, rac
+
+
+def _mut_overdrain_total(instrs, rac, rng):
+    at = _first_index(instrs, FROM_COPROCESSOR_OPS)
+    out = list(instrs)
+    out[at] = dataclasses.replace(
+        out[at], count=min(128, out[at].count + rac.items_out[0]))
+    return out, rac
+
+
+def _mut_deadlock_volume(instrs, rac, rng):
+    quiet = PassthroughRac(block_size=128, fifo_depth=32, autostart=False)
+    program = (OuProgram()
+               .stream_to(1, 128, chunk=64).execs()
+               .stream_from(2, 128, chunk=64).eop())
+    return program.instructions, quiet
+
+
+def _mut_window_overflow(instrs, rac, rng):
+    at = _first_index(instrs, TO_COPROCESSOR_OPS)
+    out = list(instrs)
+    out[at] = dataclasses.replace(
+        out[at], offset=MAX_OFFSET - out[at].count + 2)
+    return out, rac
+
+
+def _mut_jmp_infinite(instrs, rac, rng):
+    at = rng.randrange(len(instrs))
+    return (list(instrs[:at])
+            + [OuInstruction(OuOp.JMP, imm=at)]
+            + list(instrs[at:])), rac
+
+
+def _mut_jmp_past_terminator(instrs, rac, rng):
+    # jump over eop onto a trailing nop: runs off the end of the store
+    out = list(instrs) + [OuInstruction(OuOp.NOP)]
+    return [OuInstruction(OuOp.JMP, imm=len(out))] + out, rac
+
+
+def _mut_early_drain(instrs, rac, rng):
+    # move the first mvfc before the first mvtc: totals still balance
+    drain = _first_index(instrs, FROM_COPROCESSOR_OPS)
+    out = list(instrs)
+    moved = out.pop(drain)
+    return [moved] + out, rac
+
+
+def _mut_ofr_overflow(instrs, rac, rng):
+    trips = rng.randint(260, 400)   # 64-word stride walks past 16384
+    program = (OuProgram()
+               .clrofr().loop(trips).mvtcx(1, 0, 64).addofr(64).endl()
+               .execs().eop())
+    return program.instructions, ScaleRac(block_size=64)
+
+
+MUTATIONS = {
+    "unterminated": _mut_unterminated,
+    "unconfigured-bank": _mut_unconfigured_bank,
+    "bad-fifo": _mut_bad_fifo,
+    "starve": _mut_starve,
+    "overdrain-total": _mut_overdrain_total,
+    "deadlock-volume": _mut_deadlock_volume,
+    "window-overflow": _mut_window_overflow,
+    "jmp-infinite": _mut_jmp_infinite,
+    "jmp-past-terminator": _mut_jmp_past_terminator,
+    "early-drain": _mut_early_drain,
+    "ofr-overflow": _mut_ofr_overflow,
+}
+
+SEEDS_PER_CATEGORY = 5
+
+
+def _mutant_corpus():
+    for cat_index, (category, mutate) in enumerate(MUTATIONS.items()):
+        for seed in range(SEEDS_PER_CATEGORY):
+            rng = random.Random(1000 * cat_index + seed)
+            base, rac = _base_clean(rng)
+            assert verify_program(
+                base, rac=rac, configured_banks={1, 2}).clean
+            yield category, mutate(base, rac, rng)
+
+
+def test_mutants_are_flagged_and_strictly_more_than_legacy():
+    total = flagged = 0
+    new_catches: Dict[str, int] = {}
+    legacy_catches: Dict[str, int] = {}
+    for category, (instrs, rac) in _mutant_corpus():
+        total += 1
+        report = verify_program(instrs, rac=rac, configured_banks={1, 2})
+        if not report.clean:
+            flagged += 1
+            new_catches[category] = new_catches.get(category, 0) + 1
+        if legacy_has_errors(instrs, rac=rac, configured_banks={1, 2}):
+            legacy_catches[category] = legacy_catches.get(category, 0) + 1
+    assert flagged >= total * 0.9, (
+        f"verifier flagged only {flagged}/{total} known-bad mutants")
+    # every category the old scan caught must still be caught
+    for category, count in legacy_catches.items():
+        assert new_catches.get(category, 0) >= count, (
+            f"regression: legacy caught more '{category}' mutants")
+    newly_caught = [
+        category for category in MUTATIONS
+        if new_catches.get(category, 0) == SEEDS_PER_CATEGORY
+        and legacy_catches.get(category, 0) == 0
+    ]
+    assert len(newly_caught) >= 3, (
+        f"expected >=3 categories the linear scan misses, got "
+        f"{newly_caught}")
+
+
+def test_legacy_blind_spots_are_the_documented_ones():
+    """Pin the exact categories: the scan's linearity is the blind spot."""
+    blind = set()
+    for category, (instrs, rac) in _mutant_corpus():
+        if category in blind:
+            continue
+        if (not legacy_has_errors(instrs, rac=rac, configured_banks={1, 2})
+                and not verify_program(
+                    instrs, rac=rac, configured_banks={1, 2}).clean):
+            blind.add(category)
+    assert {"window-overflow", "jmp-infinite", "jmp-past-terminator",
+            "early-drain", "ofr-overflow"} <= blind
+
+
+# ---------------------------------------------------------------------------
+# every in-tree firmware generator produces clean microcode
+# ---------------------------------------------------------------------------
+
+CANONICAL = [
+    ("figure4/dft", figure4_program(256), DFTRac(n_points=256)),
+    ("figure4-looped/dft", figure4_looped_program(256), DFTRac(n_points=256)),
+    ("idct-blocks", idct_program(n_blocks=3), IDCTRac()),
+]
+
+
+@pytest.mark.parametrize(
+    "name,program,rac", CANONICAL, ids=[c[0] for c in CANONICAL])
+def test_canonical_programs_are_clean(name, program, rac):
+    report = program.verify(rac=rac, configured_banks={1, 2})
+    assert report.clean, f"{name}:\n{report.render()}"
+
+
+PLANNED_RACS = [
+    DFTRac(n_points=256),
+    IDCTRac(),
+    FIRRac(block_size=128, n_taps=8),
+    MatMulRac(n=8),
+    ScaleRac(block_size=16),
+    PassthroughRac(block_size=16),
+]
+
+
+@pytest.mark.parametrize(
+    "rac", PLANNED_RACS, ids=[type(r).__name__ for r in PLANNED_RACS])
+def test_planned_firmware_is_clean_and_reference_safe(rac):
+    plan = plan_streaming_run(rac, operations=2)
+    report = plan.program.verify(
+        rac=rac, configured_banks=set(plan.banks_used))
+    assert report.clean
+    executed = _run_reference(
+        plan.program.instructions, rac, max_steps=report.max_steps)
+    assert executed <= report.max_steps
