@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Run the system analyzer over every shipped example configuration.
+
+CI gate (the `analysis` job): each SoC configuration built by the
+examples in `examples/` and by the firmware targets of
+`scripts/verify_firmware.py` must lint clean at the system level
+(`OU1xx`), with the firmware composition (`OU0xx` against the actual
+memory map) where the example carries explicit microcode.  Exits
+non-zero and prints the findings when any configuration regresses.
+
+Findings that are intentional in an example must be suppressed here
+with a comment explaining why, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.firmware import plan_streaming_run
+from repro.core.program import OuProgram
+from repro.rac.dft import DFTRac
+from repro.rac.fir import FIRRac
+from repro.rac.idct import IDCTRac
+from repro.rac.matmul import MatMulRac
+from repro.rac.scale import PassthroughRac, ScaleRac
+from repro.soclint import lint_soc
+from repro.system import RAM_BASE, SoC
+
+#: the bank layout the quickstart and standalone examples use
+BANKS = {0: RAM_BASE + 0x1000, 1: RAM_BASE + 0x2000,
+         2: RAM_BASE + 0x3000}
+
+
+def example_configurations():
+    """(name, soc, banks, firmware, suppress) per shipped config."""
+    # examples/quickstart.py: ScaleRac with its explicit microcode
+    yield (
+        "examples/quickstart.py",
+        SoC(racs=[ScaleRac(block_size=16, factor=3, shift=1)]),
+        BANKS,
+        OuProgram().mvtc(1, 0, 16).execs().mvfc(2, 0, 16).eop(),
+        (),
+    )
+    # examples/jpeg_decode.py: IDCT behind the Linux library
+    yield ("examples/jpeg_decode.py", SoC(racs=[IDCTRac()]),
+           None, None, ())
+    # examples/ofdm_receiver.py: 64-point DFT, baremetal library
+    yield ("examples/ofdm_receiver.py",
+           SoC(racs=[DFTRac(n_points=64)]), None, None, ())
+    # examples/spectral_analysis.py: 256-point DFT, Linux library
+    yield ("examples/spectral_analysis.py",
+           SoC(racs=[DFTRac(n_points=256)]), None, None, ())
+    # examples/custom_accelerator.py: FIR via the library
+    yield ("examples/custom_accelerator.py",
+           SoC(racs=[FIRRac(block_size=128, n_taps=8)]),
+           None, None, ())
+    # examples/standalone_pipeline.py: deep-FIFO passthrough with
+    # explicit streaming microcode
+    yield (
+        "examples/standalone_pipeline.py",
+        SoC(racs=[PassthroughRac(block_size=64, fifo_depth=128)]),
+        BANKS,
+        OuProgram().stream_to(1, 64).execs().stream_from(2, 64).eop(),
+        (),
+    )
+    # every RAC scripts/verify_firmware.py plans firmware for, hosted
+    # in a default SoC with the planner's own program composed in
+    for rac in (DFTRac(n_points=256), IDCTRac(),
+                FIRRac(block_size=128, n_taps=8), MatMulRac(n=8),
+                ScaleRac(block_size=16), PassthroughRac(block_size=16)):
+        plan = plan_streaming_run(rac, operations=1)
+        banks = {bank: BANKS.get(bank, RAM_BASE + 0x1000 * (bank + 1))
+                 for bank in plan.banks_used}
+        yield (f"verify_firmware target: {rac.name}",
+               SoC(racs=[rac]), banks, plan.program, ())
+
+
+def main() -> int:
+    failures = 0
+    for name, soc, banks, firmware, suppress in example_configurations():
+        report = lint_soc(soc, banks=banks, firmware=firmware,
+                          suppress=suppress)
+        status = "clean" if report.clean else "FAIL"
+        n_warn = sum(1 for f in report.findings
+                     if f.severity == "warning")
+        print(f"{status:5}  {name:45}  "
+              f"{len(report.findings)} finding(s), {n_warn} warning(s)")
+        if not report.clean:
+            failures += 1
+            for line in report.render().splitlines():
+                print(f"       {line}")
+    if failures:
+        print(f"\n{failures} example configuration(s) failed the "
+              "system lint")
+        return 1
+    print("\nall example configurations lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

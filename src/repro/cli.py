@@ -5,8 +5,10 @@ original project shipped alongside its RTL:
 
 * ``assemble``  -- microcode text -> instruction words (hex, one/line)
 * ``disasm``    -- instruction words -> Figure 4 style text
-* ``lint``      -- static-check microcode against an accelerator
-* ``verify``    -- full static analysis incl. cross-layer contracts
+* ``lint``      -- system-level SoC integrity analysis (OU1xx), with
+  optional ``--firmware`` composition of the microcode pass
+* ``verify``    -- microcode static analysis incl. cross-layer
+  contracts (OU0xx)
 * ``estimate``  -- FPGA resource report for an OCP + RAC
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
@@ -140,8 +142,47 @@ def _run_verifier(args: argparse.Namespace,
     return 0 if report.clean else 1
 
 
+def _parse_bank_table(specs: Optional[List[str]]) -> Optional[dict]:
+    """Parse repeated ``BANK=ADDR`` options (hex ok) into a table."""
+    if not specs:
+        return None
+    banks = {}
+    for spec in specs:
+        bank, sep, addr = spec.partition("=")
+        if not sep or not bank.isdigit():
+            raise ReproError(
+                f"bad --bank {spec!r} (expected BANK=ADDR)"
+            )
+        try:
+            banks[int(bank)] = int(addr, 0)
+        except ValueError:
+            raise ReproError(
+                f"bad --bank address {addr!r} (expected an integer, "
+                "hex with 0x ok)"
+            ) from None
+    return banks
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    return _run_verifier(args, bank_windows=None)
+    from .soclint import lint_soc
+    from .system import SoC
+
+    racs = [_make_rac(spec) for spec in (args.rac or ["dft:256"])]
+    soc = SoC(racs=racs, with_dma=args.with_dma,
+              clock_mhz=args.clock)
+    firmware = None
+    if args.firmware:
+        firmware = _load_program(args.firmware)
+    report = lint_soc(
+        soc,
+        banks=_parse_bank_table(args.bank),
+        firmware=firmware,
+        ocp_index=args.ocp,
+        technology=args.device,
+        suppress=args.suppress or (),
+    )
+    print(report.render_json() if args.json else report.render())
+    return 0 if report.clean else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -269,16 +310,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static-check microcode (exit: 0 clean, 1 errors, 2 usage)",
+        help="system-level SoC integrity analysis "
+             "(exit: 0 clean, 1 errors, 2 usage)",
     )
-    p.add_argument("input", help="source or hex file ('-' for stdin)")
-    p.add_argument("--rac", help="accelerator spec, e.g. dft:256")
-    p.add_argument("--banks", type=int, nargs="*",
-                   help="configured bank numbers")
+    p.add_argument("--rac", action="append", metavar="SPEC",
+                   help="accelerator spec, e.g. dft:256; repeat for "
+                        "multiple OCPs (default: dft:256)")
+    p.add_argument("--firmware", metavar="FILE",
+                   help="microcode (asm or hex) to cross-check "
+                        "against the live memory map")
+    p.add_argument("--bank", action="append", metavar="BANK=ADDR",
+                   help="driver bank table entry, hex ok "
+                        "(repeatable, e.g. --bank 1=0x40002000)")
+    p.add_argument("--ocp", type=int, default=0,
+                   help="coprocessor index the bank table targets")
+    p.add_argument("--clock", type=float, default=50.0,
+                   help="system clock constraint in MHz (paper: 50)")
+    p.add_argument("--device", default="artix7",
+                   choices=("artix7", "spartan6"))
+    p.add_argument("--with-dma", action="store_true",
+                   help="include the DMA peripheral in the system")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON report")
     p.add_argument("--suppress", nargs="*", metavar="CODE",
-                   help="diagnostic codes to suppress (e.g. OU010)")
+                   help="diagnostic codes to suppress (e.g. OU141)")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser(

@@ -10,11 +10,13 @@ thin adapter over :func:`repro.verify.engine.verify_program`.
 New code should call the verifier directly: it exposes stable
 diagnostic codes (``OU001`` ...), suppression, JSON rendering, bank
 window contracts and the worst-case step bound, none of which fit this
-legacy surface.
+legacy surface.  Calling :func:`lint_program` emits a
+:class:`DeprecationWarning` pointing at the replacement.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set
 
@@ -51,6 +53,13 @@ def lint_program(
     """
     from ..verify.engine import verify_program
 
+    warnings.warn(
+        "repro.core.lint.lint_program is deprecated; call "
+        "repro.verify.verify_program for diagnostic codes, "
+        "suppression and JSON output",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     report = verify_program(
         program, rac=rac, configured_banks=configured_banks
     )

@@ -1,0 +1,35 @@
+"""Elaboration-time SoC integrity analyzer.
+
+The paper's integration story -- an OCP drops into a SoC as a regular
+slave whose bank registers virtualize the memory map -- means most
+integration failures are *configuration* bugs that exist before the
+first simulated cycle: overlapping windows, a bank pointing at a
+register file, an undersized FIFO, a clock the design cannot close.
+This package catches them statically, the way RTL lint/CDC tools catch
+structural bugs at build time.
+
+Public surface:
+
+* :func:`~repro.soclint.engine.lint_soc` -- analyze an elaborated
+  system (optionally composing the ``OU0xx`` microcode pass against
+  the live memory map),
+* :func:`~repro.soclint.engine.lint_map_plan` -- analyze a planned
+  memory map before elaboration,
+* the ``OU1xx`` diagnostics live in the shared catalog
+  (:data:`repro.verify.CATALOG`), so severity ordering, suppression
+  and JSON rendering match the microcode verifier exactly.
+
+See ``docs/ANALYSIS.md`` ("System-level analysis") for the catalog and
+the differential soundness discipline behind it.
+"""
+
+from .engine import lint_map_plan, lint_soc
+from .model import PlannedRegion, SystemModel, extract_model
+
+__all__ = [
+    "PlannedRegion",
+    "SystemModel",
+    "extract_model",
+    "lint_map_plan",
+    "lint_soc",
+]

@@ -1,0 +1,153 @@
+"""Entry points of the system-level analyzer.
+
+:func:`lint_soc` walks an elaborated system; :func:`lint_map_plan`
+checks a *planned* memory map before any slave object exists.  Both
+emit findings through the shared diagnostics catalog
+(:mod:`repro.verify.diagnostics`) under the ``OU1xx`` range, so
+severity ordering, suppression and the JSON schema are identical to
+the microcode verifier's.
+
+When a firmware program and a driver bank table are supplied,
+:func:`lint_soc` also runs the full ``OU0xx`` microcode pass with the
+cross-layer contracts resolved against the *actual* memory map (per-
+bank windows from the live region sizes, the RAC actually hosted by
+the target OCP) -- one report covers both layers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..sim.errors import ConfigurationError
+from ..synth.timing import ARTIX7_TECH, SPARTAN6_TECH, Technology
+from ..verify.contracts import bank_windows_from_map
+from ..verify.diagnostics import VerifyReport
+from ..verify.engine import DEFAULT_STEP_BUDGET, verify_program
+from . import checks
+from .model import extract_model, planned_regions
+
+_TECHNOLOGIES = {
+    "artix7": ARTIX7_TECH,
+    "spartan6": SPARTAN6_TECH,
+}
+
+
+def _resolve_technology(
+    technology: Union[Technology, str, None]
+) -> Optional[Technology]:
+    if technology is None or isinstance(technology, Technology):
+        return technology
+    try:
+        return _TECHNOLOGIES[str(technology).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown device technology {technology!r} "
+            f"(known: {', '.join(sorted(_TECHNOLOGIES))})"
+        ) from None
+
+
+def lint_map_plan(
+    regions: Sequence, suppress: Iterable[str] = ()
+) -> VerifyReport:
+    """Check a planned memory map: (name, base, size) tuples or Regions.
+
+    Catches what :meth:`~repro.bus.memmap.MemoryMap.add` would reject
+    mid-elaboration (overlap, misalignment) plus name shadowing, as a
+    report instead of the first exception.
+    """
+    report = VerifyReport()
+    checks.check_map_plan(planned_regions(regions), report)
+    report.sort()
+    report.apply_suppressions(suppress)
+    return report
+
+
+def lint_soc(
+    soc,
+    banks: Optional[Mapping[int, int]] = None,
+    firmware=None,
+    ocp_index: int = 0,
+    clock_mhz: Optional[float] = None,
+    technology: Union[Technology, str, None] = None,
+    caches: Optional[Sequence] = None,
+    step_budget: Optional[int] = DEFAULT_STEP_BUDGET,
+    suppress: Iterable[str] = (),
+) -> VerifyReport:
+    """Statically analyze an elaborated system.
+
+    Parameters
+    ----------
+    soc:
+        A :class:`~repro.system.SoC` (or anything exposing ``sim``,
+        ``bus``, ``irqc``, ``ocps`` and optionally ``dma``).
+    banks:
+        Driver bank table (bank number -> byte address) to validate
+        against the memory map; also feeds the firmware cross-check.
+    firmware:
+        Microcode to verify against this exact system: an
+        :class:`~repro.core.program.OuProgram`, an instruction
+        sequence, or raw encoded words.  Runs the full ``OU0xx`` pass
+        with per-bank windows resolved from the live memory map.
+    ocp_index:
+        Which coprocessor ``banks``/``firmware`` target.
+    clock_mhz / technology:
+        Timing-closure constraint; defaults to ``soc.clock_mhz``
+        (50 MHz when absent) on Artix-7.
+    caches:
+        CPU-side caches that memory-writing masters must snoop.
+    suppress:
+        Diagnostic codes to move aside (never silently dropped).
+    """
+    tech = _resolve_technology(technology)
+    model = extract_model(soc, clock_mhz=clock_mhz, caches=caches)
+    report = VerifyReport()
+
+    checks.check_map_plan(planned_regions(model.regions), report)
+    checks.check_windows(model, report)
+    checks.check_fabric(model, report)
+    checks.check_timing(model, report, technology=tech)
+    checks.check_coherence(model, report)
+    checks.check_irq(model, report)
+
+    ocp_name = (
+        model.ocps[ocp_index].name
+        if 0 <= ocp_index < len(model.ocps) else f"ocp{ocp_index}"
+    )
+    if banks is not None:
+        checks.check_banks(model, report, banks, ocp_name=ocp_name)
+
+    if firmware is not None:
+        program = _coerce_program(firmware)
+        table = dict(banks or {})
+        windows = {}
+        if model.memmap is not None and table:
+            # OU025 (bank-unmapped) duplicates the system-level OU120
+            # already emitted by check_banks; keep only the windows.
+            windows, _ = bank_windows_from_map(table, model.memmap)
+        rac = None
+        if 0 <= ocp_index < len(model.ocps):
+            rac = model.ocps[ocp_index].ocp.rac
+        micro = verify_program(
+            program,
+            rac=rac,
+            configured_banks=set(table) if table else None,
+            bank_windows=windows or None,
+            step_budget=step_budget,
+        )
+        report.findings.extend(micro.findings)
+        report.max_steps = micro.max_steps
+
+    report.sort()
+    report.apply_suppressions(suppress)
+    return report
+
+
+def _coerce_program(firmware):
+    """OuProgram | instruction sequence | raw words -> instructions."""
+    instructions = getattr(firmware, "instructions", firmware)
+    instructions = list(instructions)
+    if instructions and isinstance(instructions[0], int):
+        from ..core.encoding import decode
+
+        instructions = [decode(word) for word in instructions]
+    return instructions

@@ -73,6 +73,14 @@ class SoC:
     with_dma / with_cpu:
         Optional peripherals (baselines need the DMA engine; pure
         OCP-driven runs can skip the CPU entirely).
+    clock_mhz:
+        The system clock the design must close at (the paper uses
+        50 MHz); consumed by the system linter's timing check.
+    strict:
+        Enables the kernel's idle-skip audits *and* runs the
+        system-level integrity analyzer (:mod:`repro.soclint`) after
+        elaboration, raising :class:`ConfigurationError` on any
+        error-severity finding.
     """
 
     def __init__(
@@ -89,6 +97,7 @@ class SoC:
         idle_skip: bool = True,
         strict: bool = False,
         profile_time: bool = False,
+        clock_mhz: float = 50.0,
     ) -> None:
         self.sim = Simulator(
             trace=trace,
@@ -127,9 +136,15 @@ class SoC:
             self.irqc.register(self.dma.irq)
 
         self._prefetch = prefetch
+        self.clock_mhz = clock_mhz
+        self.strict = strict
         self.ocps: List[OuessantCoprocessor] = []
+        self._elaborated = False
         for index, rac in enumerate(racs or []):
             self.add_ocp(rac, index)
+        self._elaborated = True
+        if strict:
+            self.check_integrity()
 
     # -- construction -----------------------------------------------------
     def add_ocp(self, rac: RAC, index: Optional[int] = None, **kwargs) -> OuessantCoprocessor:
@@ -143,7 +158,33 @@ class SoC:
         ocp.attach(self.sim, self.bus, base)
         self.irqc.register(ocp.irq)
         self.ocps.append(ocp)
+        if self.strict and self._elaborated:
+            self.check_integrity()
         return ocp
+
+    # -- static analysis ---------------------------------------------------
+    def lint(self, **kwargs):
+        """Run the system-level integrity analyzer over this SoC.
+
+        Keyword arguments are forwarded to
+        :func:`repro.soclint.lint_soc` (``banks``, ``firmware``,
+        ``clock_mhz``, ``suppress``, ...).  Returns a
+        :class:`~repro.verify.diagnostics.VerifyReport`.
+        """
+        from .soclint import lint_soc
+
+        return lint_soc(self, **kwargs)
+
+    def check_integrity(self) -> None:
+        """Lint the elaborated system; raise on any error finding."""
+        from .sim.errors import ConfigurationError
+
+        report = self.lint()
+        if not report.clean:
+            raise ConfigurationError(
+                "SoC failed elaboration-time integrity analysis:\n"
+                + report.render()
+            )
 
     @property
     def ocp(self) -> OuessantCoprocessor:

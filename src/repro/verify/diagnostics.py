@@ -1,6 +1,6 @@
-"""Diagnostics catalog for the microcode verifier.
+"""Diagnostics catalog for the static analyzers.
 
-Every finding the analyzer can produce has a *stable code* (``OU001``,
+Every finding an analyzer can produce has a *stable code* (``OU001``,
 ``OU002``, ...): scripts can suppress or grep for a code without
 depending on message wording, and the documentation
 (``docs/ANALYSIS.md``) can describe each failure mode once.  Codes are
@@ -11,7 +11,17 @@ Code ranges, by theme:
 * ``OU00x``/``OU01x`` -- program structure and control flow,
 * ``OU02x`` -- banks, offsets and address windows,
 * ``OU03x`` -- FIFO fabric and accelerator (RAC) contracts,
-* ``OU04x`` -- cross-layer (driver / memory map) contracts.
+* ``OU04x`` -- cross-layer (driver / memory map) contracts,
+* ``OU1xx`` -- system-level (SoC elaboration) integrity, emitted by
+  :mod:`repro.soclint`:
+
+  * ``OU10x`` -- memory-map structure (overlap, alignment, shadowing),
+  * ``OU11x`` -- slave windows and component reachability,
+  * ``OU12x`` -- driver bank tables vs the memory map,
+  * ``OU13x`` -- FIFO fabric sizing vs RAC port contracts,
+  * ``OU14x`` -- timing closure,
+  * ``OU15x`` -- coherence (cache snooping) hazards,
+  * ``OU16x`` -- interrupt routing.
 """
 
 from __future__ import annotations
@@ -167,6 +177,107 @@ _ENTRIES: Sequence[CatalogEntry] = (
         "The analyzer could not bound FIFO volumes for this program "
         "(control flow too irregular); it refuses to certify it.",
     ),
+    # -- system level: memory-map structure -----------------------------
+    CatalogEntry(
+        "OU100", SEVERITY_ERROR, "region-overlap",
+        "Two planned address regions overlap; the decoder cannot be "
+        "built (MemoryMap.add raises at elaboration).",
+    ),
+    CatalogEntry(
+        "OU101", SEVERITY_ERROR, "region-misaligned",
+        "A planned region's base or size is not word aligned, or its "
+        "size is not positive; elaboration rejects it.",
+    ),
+    CatalogEntry(
+        "OU102", SEVERITY_WARNING, "duplicate-region-name",
+        "Two regions share a name: by-name operations "
+        "(replace_slave, fault interposition) silently bind to the "
+        "first one, shadowing the other.",
+    ),
+    # -- system level: slave windows & reachability ---------------------
+    CatalogEntry(
+        "OU110", SEVERITY_ERROR, "register-window-truncated",
+        "An OCP's mapped slave window is smaller than its register "
+        "file: the driver faults writing the upper bank registers.",
+    ),
+    CatalogEntry(
+        "OU111", SEVERITY_ERROR, "unreachable-component",
+        "A bus-slave component is registered with the simulation "
+        "kernel but no bus region decodes to it; no bus master can "
+        "ever reach it.",
+    ),
+    CatalogEntry(
+        "OU112", SEVERITY_ERROR, "window-misaligned",
+        "An OCP slave window is not aligned to its window size; "
+        "OuessantCoprocessor.attach refuses such a base.",
+    ),
+    # -- system level: driver bank tables -------------------------------
+    CatalogEntry(
+        "OU120", SEVERITY_ERROR, "bank-base-unmapped",
+        "A driver bank-table entry points at an address no bus slave "
+        "decodes: the first transfer through that bank faults.",
+    ),
+    CatalogEntry(
+        "OU121", SEVERITY_ERROR, "bank-base-misaligned",
+        "A driver bank-table entry is not word aligned: the bank "
+        "register write traps in the register file.",
+    ),
+    CatalogEntry(
+        "OU122", SEVERITY_ERROR, "bank-targets-registers",
+        "A driver bank-table entry lands in a peripheral register "
+        "window instead of memory: transfers clobber control state "
+        "and read back register contents instead of data.",
+    ),
+    CatalogEntry(
+        "OU123", SEVERITY_WARNING, "bank-aliased",
+        "Two banks of the same table share a base address; transfers "
+        "through one silently overwrite the other's data.",
+    ),
+    # -- system level: FIFO fabric sizing --------------------------------
+    CatalogEntry(
+        "OU130", SEVERITY_ERROR, "fifo-underdepth",
+        "A non-autostart accelerator needs more input words per "
+        "operation than its FIFO holds: the canonical fill-then-start "
+        "microcode pattern deadlocks on the full FIFO.",
+    ),
+    CatalogEntry(
+        "OU131", SEVERITY_ERROR, "fabric-mismatch",
+        "The built FIFO fabric does not match the RAC's port "
+        "specification (count, width or depth): the datapath "
+        "re-chunks words incorrectly or stalls.",
+    ),
+    # -- system level: timing closure ------------------------------------
+    CatalogEntry(
+        "OU140", SEVERITY_ERROR, "timing-violation",
+        "The OCP cannot close timing at the requested system clock on "
+        "the selected device; the bitstream would not pass "
+        "implementation.",
+    ),
+    CatalogEntry(
+        "OU141", SEVERITY_WARNING, "timing-marginal",
+        "Timing closes but the worst slack is under 5% of the clock "
+        "period; small netlist changes will break closure.",
+    ),
+    # -- system level: coherence -----------------------------------------
+    CatalogEntry(
+        "OU150", SEVERITY_WARNING, "cache-not-snooped",
+        "A CPU-side cache is not snooped by a memory-writing bus "
+        "master (OCP master engine, DMA): the CPU can read stale "
+        "lines after an accelerated run.",
+    ),
+    # -- system level: interrupt routing ---------------------------------
+    CatalogEntry(
+        "OU160", SEVERITY_WARNING, "irq-unrouted",
+        "An interrupt-raising component's line is not registered with "
+        "the interrupt controller: interrupt-mode software sleeping "
+        "in wfi never wakes.",
+    ),
+    CatalogEntry(
+        "OU161", SEVERITY_WARNING, "irq-conflict",
+        "The same interrupt line is registered more than once with "
+        "the controller: the duplicate vector aliases the first and "
+        "its handler never fires independently.",
+    ),
 )
 
 #: the full catalog, keyed by code
@@ -175,38 +286,52 @@ CATALOG: Dict[str, CatalogEntry] = {e.code: e for e in _ENTRIES}
 
 @dataclass(frozen=True)
 class Finding:
-    """One verifier finding, anchored to an instruction index.
+    """One analyzer finding, anchored to an instruction or a component.
 
-    ``index`` is ``None`` for whole-program findings (the renderer
-    shows them against the last instruction, matching the legacy
-    linter's convention).
+    Microcode findings carry an instruction ``index`` (``None`` for
+    whole-program findings; the renderer shows them against the last
+    instruction, matching the legacy linter's convention).  System-level
+    findings carry ``where``, the name of the component, region or bank
+    the finding is about.
     """
 
     code: str
     severity: str
     index: Optional[int]
     message: str
+    where: Optional[str] = None
+
+    def _anchor(self) -> str:
+        if self.where is not None:
+            return self.where
+        return "program" if self.index is None else f"instr {self.index}"
 
     def __str__(self) -> str:
-        where = "program" if self.index is None else f"instr {self.index}"
-        return f"{self.code} [{self.severity}] {where}: {self.message}"
+        return f"{self.code} [{self.severity}] {self._anchor()}: " \
+               f"{self.message}"
 
     def to_json(self) -> Dict[str, object]:
+        entry = CATALOG.get(self.code)
         return {
             "code": self.code,
             "severity": self.severity,
             "index": self.index,
+            "where": self.where,
             "message": self.message,
-            "title": CATALOG[self.code].title if self.code in CATALOG
-            else None,
+            "title": entry.title if entry is not None else None,
         }
 
 
-def make_finding(code: str, index: Optional[int], message: str) -> Finding:
+def make_finding(
+    code: str,
+    index: Optional[int],
+    message: str,
+    where: Optional[str] = None,
+) -> Finding:
     """Build a finding, pulling the severity from the catalog."""
     entry = CATALOG[code]
     return Finding(code=code, severity=entry.severity, index=index,
-                   message=message)
+                   message=message, where=where)
 
 
 @dataclass
@@ -235,8 +360,14 @@ class VerifyReport:
     def codes(self) -> List[str]:
         return [f.code for f in self.findings]
 
-    def add(self, code: str, index: Optional[int], message: str) -> None:
-        self.findings.append(make_finding(code, index, message))
+    def add(
+        self,
+        code: str,
+        index: Optional[int],
+        message: str,
+        where: Optional[str] = None,
+    ) -> None:
+        self.findings.append(make_finding(code, index, message, where))
 
     def sort(self) -> None:
         """Order findings: by instruction index, errors first."""

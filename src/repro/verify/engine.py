@@ -26,7 +26,7 @@ therefore always resolved towards flagging more, never less.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from ..core.isa import (
     FIFODirection,

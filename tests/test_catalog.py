@@ -1,0 +1,87 @@
+"""The diagnostics catalog is internally consistent and in sync.
+
+Three invariants the issue tracker made a release gate:
+
+* no duplicate codes in the catalog;
+* every catalog entry is documented in docs/ANALYSIS.md;
+* every system-level (OU1xx) code is reachable: at least one test in
+  the tree asserts on it.
+"""
+
+import pathlib
+import re
+
+from repro.verify.diagnostics import (
+    CATALOG,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    _ENTRIES,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ANALYSIS_MD = REPO / "docs" / "ANALYSIS.md"
+TESTS_DIR = REPO / "tests"
+
+
+def test_no_duplicate_codes():
+    codes = [entry.code for entry in _ENTRIES]
+    assert len(codes) == len(set(codes)), sorted(
+        c for c in set(codes) if codes.count(c) > 1
+    )
+    assert len(CATALOG) == len(_ENTRIES)
+
+
+def test_codes_are_well_formed():
+    for entry in _ENTRIES:
+        assert re.fullmatch(r"OU\d{3}", entry.code), entry.code
+        assert entry.severity in (SEVERITY_ERROR, SEVERITY_WARNING)
+        assert entry.title and " " not in entry.title, entry.code
+        assert entry.description, entry.code
+
+
+def test_every_code_documented_in_analysis_md():
+    text = ANALYSIS_MD.read_text()
+    missing = [e.code for e in _ENTRIES if f"`{e.code}`" not in text]
+    assert not missing, f"undocumented in docs/ANALYSIS.md: {missing}"
+
+
+def test_documented_titles_match_catalog():
+    # every catalog row in the doc ("| `OUnnn` | title ...") must
+    # carry the exact catalog title
+    text = ANALYSIS_MD.read_text()
+    rows = re.findall(r"\| `(OU\d{3})` \| ([a-z0-9-]+)", text)
+    assert rows, "no catalog tables found in docs/ANALYSIS.md"
+    for code, title in rows:
+        assert code in CATALOG, f"doc row for unknown code {code}"
+        assert CATALOG[code].title == title, (
+            f"{code}: doc says {title!r}, catalog says "
+            f"{CATALOG[code].title!r}"
+        )
+
+
+def test_documented_severities_match_catalog():
+    text = ANALYSIS_MD.read_text()
+    for code, title_cell in re.findall(
+        r"\| `(OU\d{3})` \| ([^|]+)\|", text
+    ):
+        is_warning = "[W]" in title_cell
+        expected = SEVERITY_WARNING if is_warning else SEVERITY_ERROR
+        assert CATALOG[code].severity == expected, (
+            f"{code}: doc severity marker disagrees with catalog"
+        )
+
+
+def test_every_ou1xx_code_reachable_by_a_test():
+    corpus = "\n".join(
+        path.read_text()
+        for path in TESTS_DIR.glob("test_*.py")
+        if path.name != pathlib.Path(__file__).name
+    )
+    unreachable = [
+        entry.code
+        for entry in _ENTRIES
+        if entry.code.startswith("OU1") and entry.code not in corpus
+    ]
+    assert not unreachable, (
+        f"OU1xx codes no test asserts on: {unreachable}"
+    )

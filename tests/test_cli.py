@@ -41,29 +41,29 @@ def test_assemble_disasm_roundtrip(microcode_file, tmp_path, capsys):
     assert "eop" in text
 
 
-def test_lint_clean_program(microcode_file, capsys):
+def test_verify_clean_program(microcode_file, capsys):
     # the fixture moves 64 words each way = one 32-point DFT (2 words
     # per complex sample)
-    code = main(["lint", microcode_file, "--rac", "dft:32",
+    code = main(["verify", microcode_file, "--rac", "dft:32",
                  "--banks", "1", "2"])
     assert code == 0
     assert "clean" in capsys.readouterr().out
 
 
-def test_lint_reports_errors(tmp_path, capsys):
+def test_verify_reports_errors(tmp_path, capsys):
     bad = tmp_path / "bad.ouasm"
     bad.write_text("mvtc BANK1,0,DMA64,FIFO5\n")  # no eop, bad fifo
-    code = main(["lint", str(bad), "--rac", "idct"])
+    code = main(["verify", str(bad), "--rac", "idct"])
     assert code == 1
     out = capsys.readouterr().out
     assert "error" in out
 
 
-def test_lint_accepts_hex_input(tmp_path, capsys):
+def test_verify_accepts_hex_input(tmp_path, capsys):
     hexfile = tmp_path / "prog.hex"
     # eop only
     hexfile.write_text("00000000\n")
-    assert main(["lint", str(hexfile)]) == 0
+    assert main(["verify", str(hexfile)]) == 0
 
 
 def test_estimate_report(capsys):
@@ -86,8 +86,9 @@ def test_table1_small(capsys):
 
 
 def test_unknown_rac_is_exit_2(microcode_file, capsys):
-    assert main(["lint", microcode_file, "--rac", "quantum"]) == 2
+    assert main(["verify", microcode_file, "--rac", "quantum"]) == 2
     assert "unknown RAC" in capsys.readouterr().err
+    assert main(["lint", "--rac", "quantum"]) == 2
 
 
 def test_missing_file_is_exit_2(capsys):
@@ -157,10 +158,10 @@ def test_parser_requires_command():
 # verify subcommand & the exit-code contract (0 clean / 1 errors / 2 usage)
 # ---------------------------------------------------------------------------
 
-def test_lint_json_output(microcode_file, capsys):
+def test_verify_json_output(microcode_file, capsys):
     import json
 
-    code = main(["lint", microcode_file, "--rac", "dft:32",
+    code = main(["verify", microcode_file, "--rac", "dft:32",
                  "--banks", "1", "2", "--json"])
     assert code == 0
     payload = json.loads(capsys.readouterr().out)
@@ -168,17 +169,92 @@ def test_lint_json_output(microcode_file, capsys):
     assert payload["findings"] == []
 
 
-def test_lint_json_carries_diagnostic_codes(tmp_path, capsys):
+def test_verify_json_carries_diagnostic_codes(tmp_path, capsys):
     import json
 
     bad = tmp_path / "bad.ouasm"
     bad.write_text("mvtc BANK1,0,DMA64,FIFO5\n")  # no eop, bad fifo
-    code = main(["lint", str(bad), "--rac", "idct", "--json"])
+    code = main(["verify", str(bad), "--rac", "idct", "--json"])
     assert code == 1
     payload = json.loads(capsys.readouterr().out)
     codes = {f["code"] for f in payload["findings"]}
     assert "OU002" in codes
     assert "OU030" in codes
+    for finding in payload["findings"]:
+        # the documented schema: every finding carries the catalog
+        # title and its severity
+        assert finding["title"]
+        assert finding["severity"] in ("error", "warning")
+        assert "where" in finding
+
+
+# ---------------------------------------------------------------------------
+# the system-level `repro lint` command (OU1xx + --firmware composition)
+# ---------------------------------------------------------------------------
+
+def test_lint_clean_system(capsys):
+    code = main(["lint", "--rac", "scale:16",
+                 "--bank", "0=0x40001000", "--bank", "1=0x40002000",
+                 "--bank", "2=0x40003000"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_flags_unmapped_bank(capsys):
+    code = main(["lint", "--rac", "scale:16",
+                 "--bank", "1=0x90000000"])
+    assert code == 1
+    assert "OU120" in capsys.readouterr().out
+
+
+def test_lint_flags_timing_violation(capsys):
+    code = main(["lint", "--rac", "idct", "--clock", "400"])
+    assert code == 1
+    assert "OU140" in capsys.readouterr().out
+
+
+def test_lint_composes_firmware_pass(microcode_file, capsys):
+    # the Figure 4 fixture moves 64 words through banks 1 and 2: with
+    # both banks mapped in RAM the composed report is clean...
+    code = main(["lint", "--rac", "dft:32", "--firmware",
+                 microcode_file, "--bank", "0=0x40001000",
+                 "--bank", "1=0x40002000", "--bank", "2=0x40003000"])
+    assert code == 0
+    capsys.readouterr()
+    # ...but a bank pointing at the very end of RAM leaves no room for
+    # the 64-word burst: the *actual* map bounds the window (OU022)
+    end_of_ram = 0x4000_0000 + (16 << 20) - 8
+    code = main(["lint", "--rac", "dft:32", "--firmware",
+                 microcode_file, "--bank", "0=0x40001000",
+                 f"--bank", f"1={end_of_ram:#x}",
+                 "--bank", "2=0x40003000"])
+    assert code == 1
+    assert "OU022" in capsys.readouterr().out
+
+
+def test_lint_json_includes_where(capsys):
+    import json
+
+    code = main(["lint", "--rac", "scale:16", "--clock", "400",
+                 "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    finding = payload["findings"][0]
+    assert finding["code"] == "OU140"
+    assert finding["where"] == "ocp"
+    assert finding["title"] == "timing-violation"
+
+
+def test_lint_suppress_and_exit_codes(capsys):
+    code = main(["lint", "--rac", "idct", "--clock", "400",
+                 "--suppress", "OU140"])
+    assert code == 0
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_lint_bad_bank_spec_is_exit_2(capsys):
+    assert main(["lint", "--bank", "one=2"]) == 2
+    assert main(["lint", "--bank", "1=zz"]) == 2
 
 
 def test_verify_enforces_mapped_bank_size(microcode_file, capsys):

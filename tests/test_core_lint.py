@@ -1,4 +1,9 @@
-"""Tests for the static microcode checker."""
+"""Tests for the static microcode checker (legacy compat shim).
+
+The shim is deprecated (see test_lint_program_is_deprecated); every
+other test here exercises it on purpose, so the warning is silenced
+file-wide.
+"""
 
 import pytest
 
@@ -13,6 +18,14 @@ from repro.core.program import OuProgram, figure4_looped_program, figure4_progra
 from repro.rac.dft import DFTRac
 from repro.rac.fir import FIRRac
 from repro.rac.scale import PassthroughRac
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def test_lint_program_is_deprecated():
+    program = OuProgram().eop()
+    with pytest.warns(DeprecationWarning, match="repro.verify"):
+        lint_program(program.instructions)
 
 
 def errors(diags):

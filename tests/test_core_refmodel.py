@@ -182,7 +182,7 @@ def test_timing_only_instructions_never_change_results(positions, filler,
 def test_lint_clean_programs_complete(block, n_blocks, chunk,
                                       drain_everything):
     """Anything the linter passes must run to completion (no deadlock)."""
-    from repro.core.lint import SEVERITY_ERROR, lint_program
+    from repro.verify import verify_program
 
     total = block * n_blocks
     drained = total if drain_everything else total - block
@@ -192,10 +192,10 @@ def test_lint_clean_programs_complete(block, n_blocks, chunk,
     program.eop()
 
     rac = PassthroughRac(block_size=block, fifo_depth=64)
-    diags = lint_program(program.instructions, rac=rac,
-                         configured_banks={1, 2})
-    if any(d.severity == SEVERITY_ERROR for d in diags):
-        return  # linter rejected it; nothing to check
+    report = verify_program(program.instructions, rac=rac,
+                            configured_banks={1, 2})
+    if not report.clean:
+        return  # verifier rejected it; nothing to check
     soc = SoC(racs=[rac])
     soc.write_ram(IN, list(range(total)))
     soc.write_ram(PROG, program.words())

@@ -28,7 +28,6 @@ import random
 
 import pytest
 
-from repro.core.lint import has_errors, lint_program
 from repro.core.program import OuProgram
 from repro.core.refmodel import (
     ReferenceMemory,
@@ -158,12 +157,14 @@ def test_differential(index):
     rng = random.Random(seed)
     case = Case(rng)
 
-    diags = lint_program(
+    from repro.verify import verify_program
+
+    report = verify_program(
         case.program.instructions, rac=case.rac(), configured_banks={1, 2}
     )
-    assert not has_errors(diags), (
-        f"seed {seed} generated a lint-rejected program:\n"
-        + "\n".join(str(d) for d in diags)
+    assert report.clean, (
+        f"seed {seed} generated a verifier-rejected program:\n"
+        + report.render()
     )
 
     ref_memory, ref_residual = run_reference(case)

@@ -1,0 +1,34 @@
+"""Run the repo's own static-analysis gates when the tools exist.
+
+CI installs ruff and mypy in the `static-analysis` job; locally they
+are optional, so these tests skip (not fail) when the tools are
+absent.  The configuration lives in pyproject.toml so CI and local
+runs check exactly the same thing.
+"""
+
+import pathlib
+import shutil
+import subprocess
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+TARGETS = ["src/repro/soclint", "src/repro/verify"]
+
+
+def _run(tool, *args):
+    if shutil.which(tool) is None:
+        pytest.skip(f"{tool} not installed")
+    return subprocess.run(
+        [tool, *args], cwd=REPO, capture_output=True, text=True
+    )
+
+
+def test_ruff_clean_on_analyzer_packages():
+    proc = _run("ruff", "check", *TARGETS)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_clean_on_analyzer_packages():
+    proc = _run("mypy")
+    assert proc.returncode == 0, proc.stdout + proc.stderr

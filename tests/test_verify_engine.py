@@ -266,7 +266,8 @@ def test_json_report_is_machine_readable():
     assert payload["errors"] >= 1
     assert isinstance(payload["max_steps"], int)
     finding = payload["findings"][0]
-    assert set(finding) == {"code", "severity", "index", "message", "title"}
+    assert set(finding) == {"code", "severity", "index", "where",
+                            "message", "title"}
     assert finding["title"] == CATALOG[finding["code"]].title
 
 
