@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Validate a ``repro profile --json`` attribution report.
+
+CI gate (the `profile` job): the machine-readable report is consumed
+by downstream tooling (dashboards, the bench artifact), so its shape
+is a contract.  This checks, for every report in the input (a single
+object or a list):
+
+* exactly the fields of ``repro.obs.attribution.REPORT_FIELDS``, no
+  more, no fewer;
+* cycle fields are non-negative integers, ``breakdown`` maps state
+  names to non-negative integers;
+* the defining invariant holds exactly:
+  ``transfer + compute + control == total``.
+
+Reads stdin by default (pipe the CLI into it) or a file argument.
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.attribution import REPORT_FIELDS
+
+_INT_FIELDS = tuple(f for f in REPORT_FIELDS
+                    if f not in ("workload", "breakdown"))
+
+
+def check_report(report: object, label: str) -> list:
+    problems = []
+    if not isinstance(report, dict):
+        return [f"{label}: not a JSON object"]
+    missing = [f for f in REPORT_FIELDS if f not in report]
+    extra = [f for f in report if f not in REPORT_FIELDS]
+    if missing:
+        problems.append(f"{label}: missing fields {missing}")
+    if extra:
+        problems.append(f"{label}: unknown fields {extra}")
+    if not isinstance(report.get("workload"), str):
+        problems.append(f"{label}: workload is not a string")
+    for field in _INT_FIELDS:
+        value = report.get(field)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            problems.append(
+                f"{label}: {field} is {value!r}, "
+                f"expected a non-negative integer"
+            )
+    breakdown = report.get("breakdown")
+    if not isinstance(breakdown, dict) or any(
+        not isinstance(k, str) or not isinstance(v, int)
+        or isinstance(v, bool) or v < 0
+        for k, v in breakdown.items()
+    ):
+        problems.append(
+            f"{label}: breakdown is not a state -> non-negative "
+            f"integer map"
+        )
+    if problems:
+        return problems
+    total = (report["transfer_cycles"] + report["compute_cycles"]
+             + report["control_cycles"])
+    if total != report["total_cycles"]:
+        problems.append(
+            f"{label}: transfer+compute+control = {total} but "
+            f"total_cycles = {report['total_cycles']}"
+        )
+    return problems
+
+
+def main(argv) -> int:
+    if len(argv) > 1:
+        with open(argv[1], "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(sys.stdin)
+    reports = payload if isinstance(payload, list) else [payload]
+    problems = []
+    if not reports:
+        problems.append("input: empty report list")
+    for index, report in enumerate(reports):
+        name = (report.get("workload", index)
+                if isinstance(report, dict) else index)
+        problems.extend(check_report(report, f"report[{name}]"))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"profile schema ok ({len(reports)} report(s))")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -14,11 +14,17 @@ report numbers for it).  Results carry wall-clock seconds, simulated
 cycles per host second for both modes, the speedup ratio and the
 fraction of cycles the fast path skipped.
 
+Each ``BenchResult`` also carries the run's cycle attribution
+(transfer / compute / control, from ``repro.obs``); naive and fast
+runs must agree on it exactly, extending the equivalence check from
+"same final cycle" to "same cycle-by-cycle story".
+
 Entry points:
 
 * :func:`run_benchmarks` -- programmatic, returns ``BenchResult`` rows;
-* ``python -m repro.cli bench`` -- human-readable table, optional
-  ``--output BENCH_simulator.json`` machine-readable artifact;
+* ``python -m repro.cli bench`` -- human-readable table plus the
+  ``BENCH_simulator.json`` machine-readable artifact (``--output``
+  overrides the path);
 * ``benchmarks/test_bench_simulator.py`` -- CI smoke run emitting the
   same JSON artifact.
 """
@@ -46,8 +52,9 @@ PROG = RAM_BASE + 0x1000
 IN = RAM_BASE + 0x2000
 OUT = RAM_BASE + 0x3000
 
-#: (simulated cycles, skip ratio) of one run in one kernel mode
-WorkloadFn = Callable[[bool], Tuple[int, float]]
+#: (simulated cycles, skip ratio, attribution dict or None) of one run
+#: in one kernel mode
+WorkloadFn = Callable[[bool], Tuple[int, float, Optional[Dict[str, object]]]]
 
 
 @dataclass
@@ -59,6 +66,9 @@ class BenchResult:
     naive_seconds: float
     fast_seconds: float
     skip_ratio: float
+    #: cycle attribution of the run (``AttributionReport.as_dict``),
+    #: ``None`` for workloads that never start a coprocessor
+    attribution: Optional[Dict[str, object]] = None
 
     @property
     def speedup(self) -> float:
@@ -109,7 +119,10 @@ def _run_ocp(
     soc.run_until(lambda: ocp.done, max_cycles=max_cycles)
     if soc.read_ram(OUT, block) != list(range(block)):
         raise SimulationError("bench workload produced wrong data")
-    return soc.sim.cycle, soc.sim.profile().skip_ratio
+    from .obs import attribute_run
+
+    attribution = attribute_run(soc).as_dict()
+    return soc.sim.cycle, soc.sim.profile().skip_ratio, attribution
 
 
 def _stall_heavy(idle_skip: bool) -> Tuple[int, float]:
@@ -142,7 +155,8 @@ def _idle_timeout(idle_skip: bool) -> Tuple[int, float]:
         pass
     else:  # pragma: no cover - the predicate above is constant
         raise SimulationError("bench timeout unexpectedly satisfied")
-    return soc.sim.cycle, soc.sim.profile().skip_ratio
+    # the coprocessor never starts, so there is no run to attribute
+    return soc.sim.cycle, soc.sim.profile().skip_ratio, None
 
 
 WORKLOADS: Dict[str, WorkloadFn] = {
@@ -152,10 +166,10 @@ WORKLOADS: Dict[str, WorkloadFn] = {
 }
 
 
-def _measure(fn: WorkloadFn, idle_skip: bool) -> Tuple[int, float, float]:
+def _measure(fn: WorkloadFn, idle_skip: bool):
     begin = time.perf_counter()
-    cycles, skip_ratio = fn(idle_skip)
-    return cycles, skip_ratio, time.perf_counter() - begin
+    cycles, skip_ratio, attribution = fn(idle_skip)
+    return cycles, skip_ratio, attribution, time.perf_counter() - begin
 
 
 def run_benchmarks(
@@ -165,8 +179,12 @@ def run_benchmarks(
     results: List[BenchResult] = []
     for name in names or list(WORKLOADS):
         fn = WORKLOADS[name]
-        naive_cycles, naive_ratio, naive_s = _measure(fn, idle_skip=False)
-        fast_cycles, fast_ratio, fast_s = _measure(fn, idle_skip=True)
+        naive_cycles, naive_ratio, naive_att, naive_s = _measure(
+            fn, idle_skip=False
+        )
+        fast_cycles, fast_ratio, fast_att, fast_s = _measure(
+            fn, idle_skip=True
+        )
         if naive_cycles != fast_cycles:
             raise SimulationError(
                 f"bench {name!r}: naive finished at cycle {naive_cycles} "
@@ -178,12 +196,19 @@ def run_benchmarks(
                 f"bench {name!r}: naive run reported skip ratio "
                 f"{naive_ratio} (must be 0)"
             )
+        if naive_att != fast_att:
+            raise SimulationError(
+                f"bench {name!r}: naive and idle-skip runs disagree on "
+                f"cycle attribution -- kernel equivalence violated "
+                f"(naive={naive_att} fast={fast_att})"
+            )
         results.append(BenchResult(
             workload=name,
             cycles=fast_cycles,
             naive_seconds=naive_s,
             fast_seconds=fast_s,
             skip_ratio=fast_ratio,
+            attribution=fast_att,
         ))
     return results
 

@@ -14,6 +14,8 @@ original project shipped alongside its RTL:
 * ``transfer``  -- regenerate the cycles-per-word analysis
 * ``faults``    -- fault-injection demo (replay + recovery)
 * ``bench``     -- kernel wall-clock benchmark (naive vs idle-skip)
+* ``profile``   -- traced workload run with cycle attribution,
+  Perfetto/VCD export and a counter read-back differential check
 
 Every command reads/writes plain text so it composes with shell
 pipelines; ``main`` returns a process exit code and is directly
@@ -279,10 +281,85 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
     results = run_benchmarks(names)
     print(render_results(results))
-    if args.output:
-        write_report(results, args.output)
-        print(f"# wrote {args.output}", file=sys.stderr)
+    output = args.output or "BENCH_simulator.json"
+    write_report(results, output)
+    print(f"# wrote {output}", file=sys.stderr)
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .core.perf import N_PERF_REGISTERS, PERF_BASE, PERF_NAMES
+    from .obs import (attribute_run, derive_counters, reconstruct_spans,
+                      to_perfetto, to_vcd)
+    from .obs.workloads import PROFILE_WORKLOADS
+    from .sw.driver import OuessantDriver
+
+    names = args.workloads or list(PROFILE_WORKLOADS)
+    for name in names:
+        if name not in PROFILE_WORKLOADS:
+            raise ReproError(
+                f"unknown workload {name!r} "
+                f"(known: {', '.join(PROFILE_WORKLOADS)})"
+            )
+
+    status = 0
+    reports = []
+    for name in names:
+        run = PROFILE_WORKLOADS[name](idle_skip=not args.no_idle_skip)
+        soc = run.soc
+        ocp = soc.ocps[run.ocp_index]
+        spans = reconstruct_spans(soc.sim.trace,
+                                  end_cycle=run.total_cycles)
+        report = attribute_run(soc, workload=name,
+                               ocp_index=run.ocp_index,
+                               total_cycles=run.total_cycles, spans=spans)
+
+        # differential check: the counters software reads back over
+        # the bus must equal the values re-derived from the trace alone
+        derived = derive_counters(soc.sim.trace, ocp,
+                                  end_cycle=run.total_cycles)
+        driver = OuessantDriver(soc, ocp_index=run.ocp_index)
+        readback = {}
+        for index in range(N_PERF_REGISTERS):
+            value, _ = driver.read_register(PERF_BASE + 4 * index)
+            readback[PERF_NAMES[index]] = value
+        ok = report.consistent and readback == derived
+        if not ok:
+            status = 1
+            print(f"# {name}: INCONSISTENT "
+                  f"(readback={readback} derived={derived} "
+                  f"consistent={report.consistent})", file=sys.stderr)
+
+        reports.append((run, spans, report, readback))
+        if not args.json:
+            print(report.render())
+            print(f"  counters   {'ok' if ok else 'MISMATCH'} "
+                  f"({len(spans)} spans, bus read-back == trace-derived)")
+
+    if args.json:
+        payload = [r.as_dict() for _, _, r, _ in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    if args.perfetto:
+        merged = {"displayTimeUnit": "ms", "traceEvents": []}
+        for run, spans, _, _ in reports:
+            doc = to_perfetto(spans, trace=run.soc.sim.trace,
+                              process_name=run.name)
+            merged["traceEvents"].extend(doc["traceEvents"])
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            json.dump(merged if len(reports) > 1 else doc, handle)
+        print(f"# wrote {args.perfetto}", file=sys.stderr)
+    if args.vcd:
+        run, spans, _, _ = reports[0]
+        if len(reports) > 1:
+            print(f"# --vcd: writing first workload ({run.name}) only",
+                  file=sys.stderr)
+        with open(args.vcd, "w", encoding="utf-8") as handle:
+            handle.write(to_vcd(spans, trace=run.soc.sim.trace))
+        print(f"# wrote {args.vcd}", file=sys.stderr)
+    return status
 
 
 def _cmd_transfer(args: argparse.Namespace) -> int:
@@ -397,8 +474,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workloads", nargs="*",
                    help="workload names (default: all)")
     p.add_argument("--output", "-o",
-                   help="write machine-readable JSON report here")
+                   help="machine-readable JSON report path "
+                        "(default: BENCH_simulator.json)")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a workload with full tracing and attribute its "
+             "cycles (exit: 0 consistent, 1 mismatch, 2 usage)",
+    )
+    p.add_argument("workloads", nargs="*",
+                   help="workload names (default: all; known: "
+                        "jpeg-idct, dft)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable attribution report")
+    p.add_argument("--perfetto", metavar="FILE",
+                   help="write Chrome/Perfetto trace-event JSON here")
+    p.add_argument("--vcd", metavar="FILE",
+                   help="write span lanes as a VCD waveform here")
+    p.add_argument("--no-idle-skip", action="store_true",
+                   help="simulate every cycle naively (same counters, "
+                        "slower wall clock)")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("transfer", help="cycles-per-word analysis")
     p.add_argument("--words", type=int, default=1024)

@@ -34,6 +34,7 @@ from ..sim.tracing import Stats
 from .encoding import decode
 from .interface import OuessantInterface
 from .isa import FIFODirection, OuInstruction, OuOp
+from .perf import PerfCounterBlock
 from .registers import ERR_BUS, ERR_FIFO, ERR_ILLEGAL_OP, ERR_WATCHDOG
 from .registers import PROGRAM_BANK
 
@@ -111,6 +112,12 @@ class OuessantController(Component):
         self._loop_body = 0
         self._loop_active = False
         self._ofr = 0
+        #: consecutive FIFO-stall cycles not yet flushed as one event
+        self._stall_run = 0
+        #: hardware performance counters, readable through the slave
+        #: window after the configuration registers
+        self.perf = PerfCounterBlock(self)
+        self.interface.perf = self.perf
         # hook into the register file's S bit
         self.interface.registers.on_start = self._on_start
         self.interface.registers.on_stop = self._on_stop
@@ -146,6 +153,41 @@ class OuessantController(Component):
     def offset_register(self) -> int:
         return self._ofr
 
+    def _record(self, event: str, **data: object) -> None:
+        """Trace an observability event without claiming activity.
+
+        Span-reconstruction events (``phase`` / ``instr`` / ``stall``)
+        fire on cycles where the controller -- or the bus transaction
+        poking its registers -- is active anyway; leaving
+        ``sim.last_active`` untouched keeps deadlock diagnostics naming
+        the component that actually *did* something.
+        """
+        if self.sim is not None and self.sim.trace is not None:
+            self.sim.trace.record(self.sim.cycle, self.name, event, data)
+
+    def _phase(self, at: int) -> None:
+        """Record a state-machine boundary for span reconstruction.
+
+        ``at`` is the first cycle charged to the new state (the
+        *boundary*): transitions taken inside :meth:`tick` at cycle C
+        take effect at C+1 (the current tick already charged the old
+        state), while external CTRL-write transitions take effect at C
+        (the bus ticks before the controller, so the new state is
+        charged from the very same cycle).
+        """
+        self._record("phase", state=self._state.value, at=at)
+
+    def _flush_stall(self, at: int) -> None:
+        """Emit the aggregated ``stall`` event ending a stall run.
+
+        One event per run (not per cycle) keeps declared-idle windows
+        event-free, as the strict idle-skip audit requires; the span
+        covers ``[at - cycles, at)``.
+        """
+        if self._stall_run:
+            self._record("stall", cycles=self._stall_run, at=at)
+            self._stall_run = 0
+
     def _on_start(self) -> None:
         if self.interface.registers.prog_size < 1:
             raise ControllerError("S set with PROG_SIZE == 0")
@@ -156,8 +198,11 @@ class OuessantController(Component):
         self._loop_active = False
         self._ofr = 0
         self._watchdog = 0
+        self._stall_run = 0
         self._state = _State.PREFETCH if self.prefetch else _State.FETCH
+        self.perf.clear()
         self.trace_event("start", prog_size=self.interface.registers.prog_size)
+        self._phase(at=self.now)
 
     def _on_stop(self) -> None:
         # clearing S is also the recovery path: abort whatever run is
@@ -168,11 +213,13 @@ class OuessantController(Component):
             return
         if self._state not in (_State.HALTED, _State.ERROR):
             self.trace_event("abort", state=self._state.value, pc=self._pc)
+        self._flush_stall(at=self.now)
         self._state = _State.IDLE
         self._pending = None
         self._instr = None
         self._loop_active = False
         self._watchdog = 0
+        self._phase(at=self.now)
 
     def reset(self) -> None:
         self._state = _State.IDLE
@@ -183,7 +230,9 @@ class OuessantController(Component):
         self._loop_active = False
         self._ofr = 0
         self._watchdog = 0
+        self._stall_run = 0
         self.stats = Stats()
+        self.perf.clear()
 
     # -- traps ---------------------------------------------------------------
     def _trap(self, code: int, reason: str) -> None:
@@ -192,6 +241,7 @@ class OuessantController(Component):
         The ERROR state is left by writing CTRL (clearing S aborts,
         setting S starts a fresh run which clears E and the code).
         """
+        self._flush_stall(at=self.now)
         self._state = _State.ERROR
         self._pending = None
         self._instr = None
@@ -234,6 +284,10 @@ class OuessantController(Component):
         elif state is _State.WAITF:
             if self._waitf_satisfied():
                 self._state = _State.FETCH
+        if self._state is not state:
+            # internal transition: the new state is charged from the
+            # next cycle (this tick already charged the old one)
+            self._phase(at=self.now + 1)
 
     # -- quiescence protocol --------------------------------------------------
     def next_activity(self):
@@ -293,6 +347,7 @@ class OuessantController(Component):
         elif (state in (_State.XFER_TO, _State.XFER_FROM)
               and self._pending is None):
             self.stats.incr("cycles.fifo_stall", cycles)
+            self._stall_run += cycles
 
     # -- fetch path ---------------------------------------------------------
     def _tick_prefetch(self) -> None:
@@ -362,6 +417,7 @@ class OuessantController(Component):
             raise ControllerError("decode without fetched instruction")
         self.stats.incr("instructions")
         self.stats.incr(f"instr.{instr.mnemonic()}")
+        self._record("instr", pc=self._pc - 1, mnemonic=instr.mnemonic())
         self._execute(instr)
 
     # -- execute -------------------------------------------------------------
@@ -486,7 +542,9 @@ class OuessantController(Component):
         chunk = min(self._xfer_remaining, fifo.free_push_words)
         if chunk < 1:
             self.stats.incr("cycles.fifo_stall")
+            self._stall_run += 1
             return
+        self._flush_stall(at=self.now)
         self._pending = self.interface.submit_read(
             self._xfer_bank, self._xfer_offset, chunk
         )
@@ -515,7 +573,9 @@ class OuessantController(Component):
                     fifo.depth)
         if fifo.occupancy < chunk:
             self.stats.incr("cycles.fifo_stall")
+            self._stall_run += 1
             return
+        self._flush_stall(at=self.now)
         try:
             data = fifo.pop_many(chunk)
         except FIFOError as exc:

@@ -29,6 +29,7 @@ from ..sim.errors import ControllerError
 from ..sim.kernel import Component
 from ..sim.tracing import Stats
 from .isa import MAX_OFFSET
+from .perf import PERF_WINDOW_BYTES, PerfCounterBlock
 from .registers import N_REGISTERS, OuessantRegisters
 
 
@@ -61,6 +62,9 @@ class OuessantInterface(Component, BusSlave):
         self.irq = IRQLine(f"{name}.irq")
         self.snooped_caches: List[Cache] = []
         self.stats = Stats()
+        #: performance-counter block, bound by the controller; reads
+        #: past the configuration registers return 0 until then
+        self.perf: Optional[PerfCounterBlock] = None
 
     def next_activity(self):
         # the interface has no clocked behaviour of its own: registers
@@ -68,20 +72,24 @@ class OuessantInterface(Component, BusSlave):
         # controller's tick -- always safe to skip
         return None
 
-    # -- slave side (configuration registers) ------------------------------
+    # -- slave side (configuration registers + perf counters) ---------------
     def read_word(self, offset: int) -> int:
-        if not 0 <= offset < 4 * N_REGISTERS:
-            return 0
-        return self.registers.read(offset)
+        if 0 <= offset < 4 * N_REGISTERS:
+            return self.registers.read(offset)
+        if self.perf is not None and offset < PERF_WINDOW_BYTES:
+            return self.perf.read_word(offset)
+        return 0
 
     def write_word(self, offset: int, value: int) -> None:
+        # the perf counters are read-only: writes past the
+        # configuration registers are ignored, as in hardware
         if 0 <= offset < 4 * N_REGISTERS:
             self.registers.write(offset, value)
 
     @property
     def window_bytes(self) -> int:
-        """Size of the slave register window."""
-        return 4 * N_REGISTERS
+        """Size of the slave register window (config + perf counters)."""
+        return PERF_WINDOW_BYTES
 
     # -- address translation ------------------------------------------------
     def translate(self, bank: int, word_offset: int, words: int = 1) -> int:

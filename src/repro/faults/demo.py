@@ -134,6 +134,9 @@ def demo_degradation(seed: int = 0) -> DegradationReport:
     driver_events = [
         f"{e.event}({', '.join(f'{k}={v}' for k, v in e.data.items())})"
         for e in trace.events(component="driver")
+        # op.begin/op.end are span markers for the observability
+        # layer; the recovery narrative reads better without them
+        if not e.event.startswith("op.")
     ]
     return DegradationReport(
         recovery=recovery,

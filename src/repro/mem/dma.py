@@ -182,6 +182,10 @@ class DMAEngine(Component, BusSlave):
                 data=list(self._buffer),
                 priority=self.priority,
             )
+        self.trace_event(
+            "burst", kind=request.kind.name.lower(),
+            address=hex(request.address), words=request.burst,
+        )
         self._transfer = self.bus.submit(request)
 
     def reset(self) -> None:

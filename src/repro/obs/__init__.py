@@ -1,0 +1,38 @@
+"""Unified observability layer over the simulator's Trace/Stats plumbing.
+
+The paper's evaluation is an attribution argument: Figure 4 narrates
+*which* cycles of a run go to data transfer, which to computation and
+which to control.  This package turns the raw event log into that
+narration, in four steps:
+
+* :mod:`repro.obs.spans` -- reconstruct hierarchical spans (driver op
+  -> microcode instruction -> FSM state -> bus transaction / stall)
+  from the trace, with per-span cycle cost and a query API;
+* :mod:`repro.obs.counters` -- derive the OCP's hardware performance
+  counters (:mod:`repro.core.perf`) independently from the trace, for
+  differential testing of the register readback path;
+* :mod:`repro.obs.attribution` -- the Fig.-4-style
+  transfer/compute/control breakdown whose three buckets sum to the
+  simulator's cycle count exactly;
+* :mod:`repro.obs.exporters` -- Chrome/Perfetto trace-event JSON and
+  VCD lanes for visual inspection.
+
+``python -m repro.cli profile`` wires it all together over the example
+workloads in :mod:`repro.obs.workloads`.
+"""
+
+from .attribution import AttributionReport, attribute_run
+from .counters import derive_counters
+from .exporters import to_perfetto, to_vcd
+from .spans import Span, SpanTrace, reconstruct_spans
+
+__all__ = [
+    "AttributionReport",
+    "Span",
+    "SpanTrace",
+    "attribute_run",
+    "derive_counters",
+    "reconstruct_spans",
+    "to_perfetto",
+    "to_vcd",
+]

@@ -1,0 +1,149 @@
+"""Transfer / compute / control attribution (the paper's Fig. 4).
+
+"Given the computing time, we have roughly 1500 cycles needed for data
+transfer": the evaluation's core argument is a three-way split of a
+run's cycles.  :func:`attribute_run` reproduces it for any workload:
+
+* **transfer** -- cycles the controller spent in ``xfer_to`` /
+  ``xfer_from`` (FIFO stalls included: the bus may be idle, but the
+  cycle is still owned by data movement);
+* **compute** -- cycles parked in ``exec_wait`` (blocking on the RAC);
+* **control** -- everything else: fetch/decode, GPP register accesses,
+  interrupt latency, idle gaps.
+
+``transfer + compute + control == total`` holds *exactly* -- control
+is defined as the remainder, so nothing is ever double-counted or
+dropped.  ``overlap_cycles`` additionally measures how many transfer
+cycles ran while the RAC was busy (``execs``-style pipelining), which
+is the paper's overlap argument for why the three buckets may sum to
+more than the wall clock on a per-activity reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.perf import (
+    PERF_EXECW,
+    PERF_FIFO_IN_HW,
+    PERF_FIFO_OUT_HW,
+    PERF_STALL,
+    PERF_XFER,
+)
+from .spans import SpanTrace
+
+#: JSON schema (informal) of :meth:`AttributionReport.as_dict`; the CI
+#: schema check in ``scripts/check_profile_schema.py`` enforces it
+REPORT_FIELDS = (
+    "workload", "total_cycles", "transfer_cycles", "compute_cycles",
+    "control_cycles", "stall_cycles", "overlap_cycles", "words_moved",
+    "instructions", "fifo_in_high_water", "fifo_out_high_water",
+    "breakdown",
+)
+
+
+@dataclass
+class AttributionReport:
+    """Where one run's cycles went, by activity."""
+
+    workload: str
+    total_cycles: int
+    transfer_cycles: int
+    compute_cycles: int
+    control_cycles: int
+    stall_cycles: int = 0
+    overlap_cycles: int = 0
+    words_moved: int = 0
+    instructions: int = 0
+    fifo_in_high_water: int = 0
+    fifo_out_high_water: int = 0
+    #: finer-grained controller-state split inside the three buckets
+    breakdown: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        """The defining invariant: the three buckets tile the run."""
+        return (
+            self.transfer_cycles + self.compute_cycles
+            + self.control_cycles == self.total_cycles
+            and self.transfer_cycles >= 0
+            and self.compute_cycles >= 0
+            and self.control_cycles >= 0
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in REPORT_FIELDS}
+
+    def render(self) -> str:
+        def row(label: str, cycles: int) -> str:
+            share = cycles / self.total_cycles if self.total_cycles else 0
+            return f"  {label:<10} {cycles:>10} cycles ({100 * share:5.1f}%)"
+
+        lines = [
+            f"{self.workload}: {self.total_cycles} cycles",
+            row("transfer", self.transfer_cycles),
+            row("compute", self.compute_cycles),
+            row("control", self.control_cycles),
+            f"  stalls     {self.stall_cycles:>10} cycles "
+            f"(inside transfer)",
+            f"  overlap    {self.overlap_cycles:>10} cycles "
+            f"(transfer while RAC busy)",
+            f"  moved      {self.words_moved:>10} words in "
+            f"{self.instructions} instructions",
+        ]
+        return "\n".join(lines)
+
+
+def attribute_run(
+    soc,
+    workload: str = "",
+    ocp_index: int = 0,
+    total_cycles: Optional[int] = None,
+    spans: Optional[SpanTrace] = None,
+) -> AttributionReport:
+    """Build the attribution of the most recent run on ``soc``.
+
+    Reads the OCP's performance-counter block (cleared at run start,
+    hence windowed to the last run); ``total_cycles`` defaults to the
+    simulator's current cycle.  Passing the reconstructed ``spans``
+    additionally fills :attr:`AttributionReport.overlap_cycles`.
+    """
+    ocp = soc.ocps[ocp_index]
+    perf = ocp.controller.perf
+    stats = ocp.controller.stats
+    total = soc.sim.cycle if total_cycles is None else total_cycles
+    transfer = perf.value(PERF_XFER)
+    compute = perf.value(PERF_EXECW)
+
+    overlap = 0
+    if spans is not None:
+        ctrl = ocp.controller.name
+        xfer_spans = [
+            s for s in spans.query(category="state", component=ctrl)
+            if s.name in ("xfer_to", "xfer_from")
+        ]
+        rac_spans = spans.query(category="rac",
+                                component=ocp.rac.name if ocp.rac else None)
+        overlap = spans.overlap_cycles(xfer_spans, rac_spans)
+
+    breakdown = {
+        key.split(".", 1)[1]: value
+        for key, value in stats.items()
+        if key.startswith("cycles.")
+    }
+    return AttributionReport(
+        workload=workload,
+        total_cycles=total,
+        transfer_cycles=transfer,
+        compute_cycles=compute,
+        control_cycles=total - transfer - compute,
+        stall_cycles=perf.value(PERF_STALL),
+        overlap_cycles=overlap,
+        words_moved=stats.get("words_to_rac")
+        + stats.get("words_from_rac"),
+        instructions=stats.get("instructions"),
+        fifo_in_high_water=perf.value(PERF_FIFO_IN_HW),
+        fifo_out_high_water=perf.value(PERF_FIFO_OUT_HW),
+        breakdown=breakdown,
+    )

@@ -1,0 +1,63 @@
+"""Trace-derived shadow of the OCP performance counters.
+
+:class:`~repro.core.perf.PerfCounterBlock` computes its six registers
+from the controller's live statistics.  This module recomputes the
+same six values *purely from the event trace* (span durations and FIFO
+occupancy samples), so a differential test can check that what software
+reads back over the bus matches what actually happened, bit-exactly --
+with and without idle skipping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.perf import PERF_NAMES
+from ..sim.tracing import Trace
+from .spans import reconstruct_spans
+
+
+def derive_counters(
+    trace: Trace,
+    ocp,
+    end_cycle: Optional[int] = None,
+) -> Dict[str, int]:
+    """Recompute the perf-counter registers of ``ocp`` from ``trace``.
+
+    ``ocp`` is an :class:`~repro.core.coprocessor.OuessantCoprocessor`
+    (only component *names* are read from it).  The window starts at
+    the controller's most recent ``start`` event -- the counters are
+    cleared on start -- and the returned dict maps
+    :data:`~repro.core.perf.PERF_NAMES` to values.
+    """
+    ctrl_name = ocp.controller.name
+    starts = trace.events(component=ctrl_name, event="start")
+    window = starts[-1].cycle if starts else 0
+
+    spans = reconstruct_spans(trace, end_cycle=end_cycle)
+    states = spans.query(category="state", component=ctrl_name,
+                         since=window)
+    busy = sum(s.cycles for s in states)
+    xfer = sum(s.cycles for s in states
+               if s.name in ("xfer_to", "xfer_from"))
+    execw = sum(s.cycles for s in states if s.name == "exec_wait")
+    stall = sum(
+        s.cycles
+        for s in spans.query(category="stall", component=ctrl_name,
+                             since=window)
+    )
+
+    def high_water(fifos) -> int:
+        hw = 0
+        for fifo in fifos:
+            for event in trace.events(component=fifo.name,
+                                      event="commit"):
+                if event.cycle >= window:
+                    hw = max(hw, int(event.data["occupancy_atoms"]))
+        return hw
+
+    values = (
+        busy, xfer, execw, stall,
+        high_water(ocp.fifos_in), high_water(ocp.fifos_out),
+    )
+    return dict(zip(PERF_NAMES, values))

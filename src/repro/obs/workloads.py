@@ -1,0 +1,91 @@
+"""Example workloads for ``repro profile``.
+
+The two accelerators the paper evaluates, driven end-to-end through
+the software stack (library -> driver -> register writes -> microcode)
+with tracing on, so the full observability pipeline has something real
+to attribute:
+
+* ``jpeg-idct`` -- a four-block 8x8 IDCT batch (one microcode program
+  looping on the coprocessor, the JPEG decoder's shape);
+* ``dft`` -- one 64-point Q15 DFT (Figure 4's workload, scaled down
+  so profiling stays interactive).
+
+Each workload returns a :class:`ProfileRun` bundling the SoC (with its
+trace), the verified outputs and the end-of-run cycle, which
+``attribute_run`` / ``reconstruct_spans`` / ``derive_counters`` then
+consume.  Output words are checked against the RAC's own bit-exact
+datapath model, so a profile of a *wrong* run cannot be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..rac.dft import DFTRac
+from ..rac.idct import IDCTRac
+from ..sim.errors import SimulationError
+from ..sim.tracing import Trace
+from ..sw.library import OuessantLibrary
+from ..system import SoC
+
+
+@dataclass
+class ProfileRun:
+    """One finished, output-verified workload run."""
+
+    name: str
+    soc: SoC
+    ocp_index: int
+    total_cycles: int
+
+
+def _verify(name: str, ok: bool) -> None:
+    if not ok:
+        raise SimulationError(
+            f"profile workload {name!r} produced wrong output; "
+            "refusing to attribute a broken run"
+        )
+
+
+def _jpeg_idct(idle_skip: bool = True) -> ProfileRun:
+    rac = IDCTRac()
+    soc = SoC(racs=[rac], trace=Trace(), idle_skip=idle_skip)
+    lib = OuessantLibrary(soc)
+    blocks = [
+        [[(u * 8 + v + 17 * b) % 64 - 32 for v in range(8)]
+         for u in range(8)]
+        for b in range(4)
+    ]
+    out = lib.idct_batch(blocks)
+    total = soc.sim.cycle
+    # the datapath model is bit-exact: re-running it checks the whole
+    # transfer path moved every coefficient where it belongs
+    from ..utils.fixedpoint import idct2_q15
+
+    expected = [idct2_q15(block) for block in blocks]
+    _verify("jpeg-idct", out == expected)
+    return ProfileRun("jpeg-idct", soc, 0, total)
+
+
+def _dft(idle_skip: bool = True) -> ProfileRun:
+    rac = DFTRac(n_points=64)
+    soc = SoC(racs=[rac], trace=Trace(), idle_skip=idle_skip)
+    lib = OuessantLibrary(soc)
+    n = rac.n_points
+    re = [((3 * i) % 31 - 15) * 256 for i in range(n)]
+    im = [((5 * i) % 29 - 14) * 256 for i in range(n)]
+    out_re, out_im = lib.dft(re, im)
+    total = soc.sim.cycle
+    from ..utils.fixedpoint import fft_q15
+
+    exp_re, exp_im = fft_q15(re, im)
+    _verify("dft", out_re == exp_re and out_im == exp_im)
+    return ProfileRun("dft", soc, 0, total)
+
+
+#: name -> workload constructor (idle_skip keyword)
+PROFILE_WORKLOADS: Dict[str, Callable[..., ProfileRun]] = {
+    "jpeg-idct": _jpeg_idct,
+    "dft": _dft,
+}

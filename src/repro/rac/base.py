@@ -85,6 +85,7 @@ class RAC(Component):
         self.end_op = False
         self.busy = True
         self.stats.incr("start_ops")
+        self.trace_event("start_op", op=self.ops_completed + 1)
 
     def _finish_op(self) -> None:
         self.busy = False

@@ -63,6 +63,10 @@ class FIFO(Component):
         self._capacity_atoms = depth * self._pop_ratio
         self._atoms: List[int] = []
         self._staged: List[int] = []
+        self._pops_pending = 0
+        #: windowed occupancy maximum, resettable by the perf-counter
+        #: block at run start (the cumulative gauge lives in ``stats``)
+        self.high_water_atoms = 0
         self.stats = Stats()
 
     # -- capacity ----------------------------------------------------------
@@ -121,6 +125,7 @@ class FIFO(Component):
         for i in range(self._pop_ratio):
             value |= self._atoms.pop(0) << (i * self._atom_bits)
         self.stats.incr("pops")
+        self._pops_pending += 1
         return value
 
     def pop_many(self, count: int) -> List[int]:
@@ -142,19 +147,48 @@ class FIFO(Component):
     # -- clocked behaviour ------------------------------------------------
     def next_activity(self):
         # a FIFO acts only in commit, and only when a push staged data
-        # this cycle; with nothing staged it is idle until some other
-        # component pushes (which makes that component active anyway)
-        return self.now if self._staged else None
+        # or a pop awaits its trace flush this cycle; otherwise it is
+        # idle until some other component pushes or pops (which makes
+        # that component active anyway)
+        return self.now if (self._staged or self._pops_pending) else None
 
     def commit(self) -> None:
+        if self._pops_pending:
+            # pops only happen inside an *active* consumer's tick, so
+            # flushing here never records during a declared-idle window
+            self._record("pop", words=self._pops_pending,
+                         occupancy_atoms=len(self._atoms))
+            self._pops_pending = 0
         if self._staged:
+            staged = len(self._staged)
             self._atoms.extend(self._staged)
             self._staged.clear()
-            self.stats.maximize("max_occupancy_atoms", len(self._atoms))
+            occupancy = len(self._atoms)
+            self.stats.maximize("max_occupancy_atoms", occupancy)
+            if occupancy > self.high_water_atoms:
+                self.high_water_atoms = occupancy
+            self._record("commit", atoms=staged,
+                         occupancy_atoms=occupancy)
+
+    def _record(self, event: str, **data: object) -> None:
+        """Trace without claiming activity.
+
+        Unlike :meth:`Component.trace_event` this leaves
+        ``sim.last_active`` alone: FIFO plumbing events should not
+        displace the component a deadlock diagnostic would name.
+        """
+        if self.sim is not None and self.sim.trace is not None:
+            self.sim.trace.record(self.sim.cycle, self.name, event, data)
+
+    def clear_high_water(self) -> None:
+        """Restart the windowed occupancy maximum (perf-counter clear)."""
+        self.high_water_atoms = len(self._atoms)
 
     def reset(self) -> None:
         self._atoms.clear()
         self._staged.clear()
+        self._pops_pending = 0
+        self.high_water_atoms = 0
         self.stats = Stats()
 
     # -- sizing (for the synthesis estimator) -------------------------------

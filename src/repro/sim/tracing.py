@@ -109,17 +109,23 @@ class Stats:
     """Named counters with categories.
 
     ``Stats`` instances support ``+`` so per-component statistics can be
-    merged into a system-level report.
+    merged into a system-level report.  Counters come in two flavours:
+    monotonically increasing sums (:meth:`incr`) and gauge-style maxima
+    (:meth:`maximize`).  Merging sums the former and takes the maximum
+    of the latter -- summing two FIFOs' ``max_occupancy_atoms`` would
+    fabricate an occupancy neither ever reached.
     """
 
     def __init__(self) -> None:
         self._counters: Counter = Counter()
+        self._gauges: set = set()
 
     def incr(self, name: str, amount: int = 1) -> None:
         self._counters[name] += amount
 
     def maximize(self, name: str, value: int) -> None:
         """Keep the running maximum of a gauge-style statistic."""
+        self._gauges.add(name)
         if value > self._counters.get(name, 0):
             self._counters[name] = value
 
@@ -132,9 +138,18 @@ class Stats:
     def items(self) -> Iterable[Tuple[str, int]]:
         return sorted(self._counters.items())
 
+    def is_gauge(self, name: str) -> bool:
+        """True if ``name`` was ever updated through :meth:`maximize`."""
+        return name in self._gauges
+
     def __add__(self, other: "Stats") -> "Stats":
         merged = Stats()
+        merged._gauges = self._gauges | other._gauges
         merged._counters = self._counters + other._counters
+        for name in merged._gauges:
+            merged._counters[name] = max(
+                self._counters.get(name, 0), other._counters.get(name, 0)
+            )
         return merged
 
     def as_dict(self) -> Dict[str, int]:
@@ -194,6 +209,9 @@ class VCDWriter:
         if name not in self._signals:
             self.register(name, width=max(1, int(value).bit_length()))
         sig = self._signals[name]
+        # widen the declaration when a later value needs more bits; the
+        # header is rendered last, so every change stays in range
+        sig.width = max(sig.width, int(value).bit_length())
         if sig.last == value:
             return
         sig.last = value

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Mapping, Optional, Sequence
 
 from ..core.coprocessor import OuessantCoprocessor
+from ..core.perf import PERF_WINDOW_BYTES
 from ..synth.timing import Technology, timing_report
 from ..verify.diagnostics import VerifyReport
 from .model import (
@@ -85,6 +86,15 @@ def check_windows(model: SystemModel, report: VerifyReport) -> None:
                 f"window is {ocp.region.size} bytes but the register "
                 f"file needs {REGISTER_FILE_BYTES}; bank registers "
                 f"above offset {ocp.region.size:#x} are unreachable",
+                where=ocp.name,
+            )
+        elif ocp.region.size < PERF_WINDOW_BYTES:
+            report.add(
+                "OU113", None,
+                f"window is {ocp.region.size} bytes: the register file "
+                f"fits but the performance counters end at "
+                f"{PERF_WINDOW_BYTES}; profiling reads above offset "
+                f"{ocp.region.size:#x} return garbage",
                 where=ocp.name,
             )
         if ocp.region.base % OuessantCoprocessor.WINDOW_BYTES:

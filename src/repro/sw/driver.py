@@ -328,6 +328,7 @@ class OuessantDriver:
         self.place_program(program_words, program_address)
 
         begin = self.soc.sim.cycle
+        self._trace("op.begin", op="run", words=len(program_words))
         config = self.configure(all_banks, len(program_words))
         config += self.start()
         compute = self.wait_done(max_cycles=max_wait_cycles)
@@ -335,6 +336,7 @@ class OuessantDriver:
             compute += self.check_status()
         ack = self.acknowledge()
         total = self.soc.sim.cycle - begin
+        self._trace("op.end", op="run", cycles=total)
         return RunResult(
             total_cycles=total,
             config_cycles=config,

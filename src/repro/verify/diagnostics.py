@@ -211,6 +211,12 @@ _ENTRIES: Sequence[CatalogEntry] = (
         "An OCP slave window is not aligned to its window size; "
         "OuessantCoprocessor.attach refuses such a base.",
     ),
+    CatalogEntry(
+        "OU113", SEVERITY_WARNING, "perf-counters-truncated",
+        "An OCP's mapped slave window holds the register file but "
+        "cuts off the performance-counter block behind it: the "
+        "coprocessor still runs, but profiling reads return garbage.",
+    ),
     # -- system level: driver bank tables -------------------------------
     CatalogEntry(
         "OU120", SEVERITY_ERROR, "bank-base-unmapped",

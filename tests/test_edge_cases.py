@@ -60,7 +60,8 @@ def test_estimate_without_prefetch():
 
 def test_interface_window_size():
     soc = SoC(racs=[PassthroughRac()])
-    assert soc.ocp.interface.window_bytes == 40  # 10 registers
+    # 10 config registers + 6 perf counters
+    assert soc.ocp.interface.window_bytes == 64
 
 
 def test_zynq_without_racs():

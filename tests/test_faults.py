@@ -269,8 +269,13 @@ def test_recovery_retries_past_transient_fault():
     assert result.attempts == 2
     assert result.recovered
     assert soc.read_ram(OUT, BLOCK) == list(range(BLOCK))
-    events = [e.event for e in soc.sim.trace.events(component="driver")]
+    events = [e.event for e in soc.sim.trace.events(component="driver")
+              if not e.event.startswith("op.")]
     assert events == ["fault", "abort", "retry", "recovered"]
+    # each attempt opens an op span; only the successful one closes it
+    spans = [e.event for e in soc.sim.trace.events(component="driver")
+             if e.event.startswith("op.")]
+    assert spans == ["op.begin", "op.begin", "op.end"]
 
 
 def test_recovery_degrades_to_software_fallback():

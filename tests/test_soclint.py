@@ -80,6 +80,20 @@ def test_truncated_window_is_ou110():
     assert "OU110" in codes(lint_soc(soc))
 
 
+def test_perf_truncated_window_is_ou113():
+    soc = _raw_soc()
+    ocp = OuessantCoprocessor(PassthroughRac(), name="ocp", bus=soc.bus)
+    soc.sim.add_all(ocp.components())
+    # 40 bytes fit the register file but cut off the perf counters
+    soc.bus.attach_slave("ocp", OCP_BASE, 40, ocp.interface)
+    soc.irqc.register(ocp.irq)
+    soc.ocps.append(ocp)
+    report = lint_soc(soc)
+    assert "OU113" in codes(report)
+    assert "OU110" not in codes(report)
+    assert not report.errors  # warning: the coprocessor itself works
+
+
 def test_unreachable_component_is_ou111():
     soc = _raw_soc()
     ocp = OuessantCoprocessor(PassthroughRac(), name="ocp", bus=soc.bus)

@@ -91,6 +91,30 @@ def test_stats_maximize_keeps_running_max():
     assert stats["depth"] == 9
 
 
+def test_stats_merge_takes_max_of_gauges_not_sum():
+    # regression: merging used plain Counter addition, so gauges like
+    # max_occupancy_atoms came out as the *sum* of the two maxima
+    a = Stats()
+    a.maximize("max_occupancy_atoms", 7)
+    a.incr("pushes", 10)
+    b = Stats()
+    b.maximize("max_occupancy_atoms", 5)
+    b.incr("pushes", 3)
+    merged = a + b
+    assert merged["max_occupancy_atoms"] == 7
+    assert merged["pushes"] == 13
+    assert merged.is_gauge("max_occupancy_atoms")
+    assert not merged.is_gauge("pushes")
+
+
+def test_stats_merge_gauge_present_on_one_side_only():
+    a = Stats()
+    a.maximize("depth", 4)
+    b = Stats()
+    assert (a + b)["depth"] == 4
+    assert (b + a)["depth"] == 4
+
+
 def test_stats_report_contains_all_counters():
     stats = Stats()
     stats.incr("alpha", 3)
@@ -129,6 +153,25 @@ def test_vcd_autoregisters_unknown_signal():
     vcd = VCDWriter()
     vcd.change(0, "auto", 5)
     assert "auto" in vcd.render()
+
+
+def test_vcd_autoregistered_signal_widens_for_later_values():
+    # regression: auto-registration pinned the width to the *first*
+    # value's bit length, so a later wider value overflowed its lane
+    vcd = VCDWriter()
+    vcd.change(0, "auto", 1)     # would pin width=1
+    vcd.change(5, "auto", 0xAB)  # needs 8 bits
+    text = vcd.render()
+    assert "$var wire 8" in text
+    assert "b10101011" in text
+
+
+def test_vcd_explicit_width_also_widens_on_overflow():
+    vcd = VCDWriter()
+    vcd.register("s", width=2)
+    vcd.change(0, "s", 3)
+    vcd.change(1, "s", 12)
+    assert "$var wire 4" in vcd.render()
 
 
 def test_vcd_write_to_file(tmp_path):
