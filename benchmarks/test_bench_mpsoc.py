@@ -103,3 +103,40 @@ def test_zynq_port_comparison(benchmark, q15_signal):
     # identical results; comparable performance despite DDR latency and
     # the PS/PL bridge -- the port is viable, as the paper anticipated
     assert results["Zynq/AXI4"] < results["Leon3/AHB"] * 1.25
+
+
+def test_throughput_scheduler_scaling(benchmark):
+    """Aggregate ops/sec of the job scheduler from 1 to 8 OCPs.
+
+    The scale-out claim the scheduler subsystem commits to: with
+    compute-bound jobs, aggregate throughput at 8 coprocessors behind
+    one arbiter is at least 5x the single-OCP baseline.  The sweep is
+    merged into the ``BENCH_simulator.json`` artifact (path overridable
+    via ``REPRO_BENCH_OUT``) for the CI schema gate.
+    """
+    import os
+
+    from repro.bench import merge_mpsoc_into_report, run_mpsoc_sweep
+
+    def sweep():
+        return run_mpsoc_sweep(n_jobs=64, ocp_counts=(1, 2, 4, 8))
+
+    result = once(benchmark, sweep)
+    print()
+    for point in result.points:
+        print(f"  {point.ocps} OCP(s): {point.cycles:>7} cycles, "
+              f"{point.ops_per_sec:>12.0f} ops/s, "
+              f"{point.speedup_vs_1:.2f}x, "
+              f"util {100 * point.utilization:.0f}%")
+        benchmark.extra_info[f"sched_ocps{point.ocps}"] = point.cycles
+
+    by_ocps = {point.ocps: point for point in result.points}
+    assert by_ocps[1].speedup_vs_1 == 1.0
+    # monotone scaling, and the committed 5x floor at 8 OCPs
+    assert (by_ocps[1].ops_per_sec < by_ocps[2].ops_per_sec
+            < by_ocps[4].ops_per_sec < by_ocps[8].ops_per_sec)
+    assert by_ocps[8].speedup_vs_1 >= 5.0
+
+    out = os.environ.get("REPRO_BENCH_OUT", "BENCH_simulator.json")
+    if os.path.exists(out):
+        merge_mpsoc_into_report(out, result)

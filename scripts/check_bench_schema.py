@@ -1,0 +1,189 @@
+#!/usr/bin/env python
+"""Validate a ``BENCH_simulator.json`` bench artifact.
+
+CI gate (the ``bench`` and ``mpsoc-bench`` jobs): the artifact is a
+contract for downstream dashboards, so its shape is checked field by
+field:
+
+* top level: ``bench == "simulator"`` plus a ``workloads`` list whose
+  rows carry the :class:`repro.bench.BenchResult` fields (and whose
+  attribution, when present, satisfies transfer+compute+control ==
+  total);
+* the optional ``mpsoc`` section: sweep parameters plus a scaling
+  curve of per-OCP-count points, strictly increasing in OCP count,
+  with the smallest point pinned at ``speedup_vs_1 == 1.0``;
+* ``--require-mpsoc`` makes the section mandatory and
+  ``--min-mpsoc-speedup X`` fails the gate if the largest point's
+  aggregate throughput regresses below ``X`` times the 1-OCP baseline.
+
+Reads stdin by default (pipe the CLI into it) or a file argument.
+Exits non-zero with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+WORKLOAD_FIELDS = (
+    "workload", "cycles", "naive_seconds", "fast_seconds", "skip_ratio",
+    "attribution", "speedup", "naive_cycles_per_sec", "fast_cycles_per_sec",
+)
+MPSOC_FIELDS = (
+    "workload", "jobs", "job_words", "compute_latency", "batch_jobs",
+    "clock_mhz", "points",
+)
+POINT_FIELDS = (
+    "ocps", "jobs", "cycles", "ops_per_sec", "words_per_cycle",
+    "speedup_vs_1", "utilization", "host_seconds",
+)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_fields(obj: dict, fields: tuple, label: str) -> list:
+    problems = []
+    missing = [f for f in fields if f not in obj]
+    extra = [f for f in obj if f not in fields]
+    if missing:
+        problems.append(f"{label}: missing fields {missing}")
+    if extra:
+        problems.append(f"{label}: unknown fields {extra}")
+    return problems
+
+
+def check_workload(row: object, label: str) -> list:
+    if not isinstance(row, dict):
+        return [f"{label}: not a JSON object"]
+    problems = _check_fields(row, WORKLOAD_FIELDS, label)
+    if not isinstance(row.get("workload"), str):
+        problems.append(f"{label}: workload is not a string")
+    cycles = row.get("cycles")
+    if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 0:
+        problems.append(f"{label}: cycles is {cycles!r}")
+    for field in ("naive_seconds", "fast_seconds", "skip_ratio", "speedup",
+                  "naive_cycles_per_sec", "fast_cycles_per_sec"):
+        if field in row and not _is_number(row[field]):
+            problems.append(f"{label}: {field} is not a number")
+    attribution = row.get("attribution")
+    if attribution is not None and isinstance(attribution, dict):
+        try:
+            summed = (attribution["transfer_cycles"]
+                      + attribution["compute_cycles"]
+                      + attribution["control_cycles"])
+            if summed != attribution["total_cycles"]:
+                problems.append(
+                    f"{label}: attribution buckets sum to {summed}, "
+                    f"not total_cycles {attribution['total_cycles']}"
+                )
+        except (KeyError, TypeError):
+            problems.append(f"{label}: attribution is malformed")
+    elif attribution is not None:
+        problems.append(f"{label}: attribution is neither null nor object")
+    return problems
+
+
+def check_mpsoc(section: object, min_speedup: float | None) -> list:
+    label = "mpsoc"
+    if not isinstance(section, dict):
+        return [f"{label}: not a JSON object"]
+    problems = _check_fields(section, MPSOC_FIELDS, label)
+    points = section.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append(f"{label}: points is not a non-empty list")
+        return problems
+    last_ocps = 0
+    for index, point in enumerate(points):
+        plabel = f"{label}.points[{index}]"
+        if not isinstance(point, dict):
+            problems.append(f"{plabel}: not a JSON object")
+            continue
+        problems.extend(_check_fields(point, POINT_FIELDS, plabel))
+        for field in POINT_FIELDS:
+            if field in point and not _is_number(point[field]):
+                problems.append(f"{plabel}: {field} is not a number")
+        ocps = point.get("ocps")
+        if isinstance(ocps, int) and not isinstance(ocps, bool):
+            if ocps <= last_ocps:
+                problems.append(
+                    f"{plabel}: ocps {ocps} does not increase "
+                    f"(previous {last_ocps})"
+                )
+            last_ocps = ocps
+        cycles = point.get("cycles")
+        if _is_number(cycles) and cycles <= 0:
+            problems.append(f"{plabel}: cycles {cycles!r} not positive")
+    if problems:
+        return problems
+    if abs(points[0]["speedup_vs_1"] - 1.0) > 1e-9:
+        problems.append(
+            f"{label}: smallest point has speedup_vs_1 = "
+            f"{points[0]['speedup_vs_1']}, expected 1.0"
+        )
+    if min_speedup is not None:
+        top = points[-1]
+        if top["speedup_vs_1"] < min_speedup:
+            problems.append(
+                f"{label}: {top['ocps']}-OCP aggregate throughput is "
+                f"{top['speedup_vs_1']:.2f}x the 1-OCP baseline, below "
+                f"the committed floor of {min_speedup:g}x"
+            )
+    return problems
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?",
+                        help="artifact path (default: stdin)")
+    parser.add_argument("--require-mpsoc", action="store_true",
+                        help="fail if the mpsoc section is absent")
+    parser.add_argument("--min-mpsoc-speedup", type=float, default=None,
+                        help="largest-point speedup_vs_1 floor")
+    args = parser.parse_args(argv[1:])
+
+    if args.report:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(sys.stdin)
+
+    problems = []
+    if not isinstance(payload, dict):
+        problems.append("input: not a JSON object")
+    else:
+        if payload.get("bench") != "simulator":
+            problems.append(
+                f"input: bench is {payload.get('bench')!r}, "
+                f"expected 'simulator'"
+            )
+        workloads = payload.get("workloads")
+        if not isinstance(workloads, list):
+            problems.append("input: workloads is not a list")
+        else:
+            for index, row in enumerate(workloads):
+                name = (row.get("workload", index)
+                        if isinstance(row, dict) else index)
+                problems.extend(check_workload(row, f"workload[{name}]"))
+        if "mpsoc" in payload:
+            problems.extend(
+                check_mpsoc(payload["mpsoc"], args.min_mpsoc_speedup)
+            )
+        elif args.require_mpsoc:
+            problems.append("input: mpsoc section is missing")
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        n_points = len(payload.get("mpsoc", {}).get("points", []))
+        print(
+            f"bench schema ok ({len(payload.get('workloads', []))} "
+            f"workload(s), {n_points} mpsoc point(s))"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

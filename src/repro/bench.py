@@ -228,12 +228,196 @@ def render_results(results: List[BenchResult]) -> str:
     return "\n".join(lines)
 
 
-def write_report(results: List[BenchResult], path: str) -> None:
+def write_report(
+    results: List[BenchResult],
+    path: str,
+    mpsoc: Optional["MpsocSweep"] = None,
+) -> None:
     """Emit the machine-readable artifact (``BENCH_simulator.json``)."""
-    payload = {
+    payload: Dict[str, object] = {
         "bench": "simulator",
         "workloads": [r.as_dict() for r in results],
     }
+    if mpsoc is not None:
+        payload["mpsoc"] = mpsoc.as_dict()
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def merge_mpsoc_into_report(path: str, mpsoc: "MpsocSweep") -> None:
+    """Add/replace the ``mpsoc`` section of an existing report file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["mpsoc"] = mpsoc.as_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# MPSoC scale-out sweep (throughput scheduler across N OCPs)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MpsocPoint:
+    """One point of the 1..N OCP scaling curve."""
+
+    ocps: int
+    jobs: int
+    cycles: int
+    #: aggregate throughput at the modelled clock (jobs per second)
+    ops_per_sec: float
+    #: processed payload words per simulated cycle
+    words_per_cycle: float
+    #: aggregate throughput relative to the 1-OCP point
+    speedup_vs_1: float
+    #: mean per-OCP busy fraction over the run
+    utilization: float
+    host_seconds: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class MpsocSweep:
+    """The whole scaling curve plus its workload parameters."""
+
+    workload: str
+    jobs: int
+    job_words: int
+    compute_latency: int
+    batch_jobs: int
+    clock_mhz: float
+    points: List[MpsocPoint]
+
+    def as_dict(self) -> Dict[str, object]:
+        out = asdict(self)
+        out["points"] = [p.as_dict() for p in self.points]
+        return out
+
+
+def run_mpsoc_sweep(
+    n_jobs: int = 192,
+    ocp_counts: Tuple[int, ...] = (1, 2, 4, 8),
+    job_words: int = 16,
+    compute_latency: int = 400,
+    batch_jobs: int = 4,
+    queue_bound: int = 8,
+    clock_mhz: float = 50.0,
+    verify_naive: bool = True,
+) -> MpsocSweep:
+    """Throughput-scheduler scaling curve on the passthrough workload.
+
+    The same ``n_jobs``-job stream is dispatched across 1, 2, 4, 8
+    identical passthrough OCPs behind one AHB arbiter; each point
+    verifies every output word (passthrough is the identity), and the
+    smallest point is additionally re-run under the naive kernel to
+    re-assert cycle equivalence before any throughput is reported.
+    """
+    from .obs import attribute_schedule
+    from .sched import Job, ThroughputScheduler
+
+    def job_stream() -> List[Job]:
+        # deterministic payload, no RNG: job index mixed with a Weyl
+        # constant so neighbouring jobs do not share words
+        return [
+            Job(
+                f"job{index}", "passthrough",
+                [(index * 2654435761 + word) & 0xFFFFFFFF
+                 for word in range(job_words)],
+            )
+            for index in range(n_jobs)
+        ]
+
+    def run_one(count: int, idle_skip: bool) -> Tuple[int, float]:
+        soc = SoC(
+            racs=[
+                PassthroughRac(
+                    name=f"pt{index}", block_size=job_words,
+                    fifo_depth=2 * job_words,
+                    compute_latency=compute_latency,
+                )
+                for index in range(count)
+            ],
+            idle_skip=idle_skip, clock_mhz=clock_mhz,
+        )
+        scheduler = ThroughputScheduler(
+            soc, batch_jobs=batch_jobs, queue_bound=queue_bound,
+        )
+        results = scheduler.run_stream(job_stream(), max_cycles=20_000_000)
+        for result in results:
+            if result.outputs != result.job.words:
+                raise SimulationError(
+                    f"mpsoc sweep: job {result.job.job_id} corrupted on "
+                    f"the {count}-OCP point"
+                )
+        report = attribute_schedule(scheduler)
+        if not report.consistent:
+            raise SimulationError(
+                "mpsoc sweep: per-OCP job attribution does not sum to "
+                "the completed total"
+            )
+        mean_util = (
+            sum(s.utilization for s in report.per_ocp) / len(report.per_ocp)
+        )
+        return soc.sim.cycle, mean_util
+
+    points: List[MpsocPoint] = []
+    base_cycles: Optional[int] = None
+    for count in ocp_counts:
+        begin = time.perf_counter()
+        cycles, utilization = run_one(count, idle_skip=True)
+        host_seconds = time.perf_counter() - begin
+        if count == min(ocp_counts) and verify_naive:
+            naive_cycles, _ = run_one(count, idle_skip=False)
+            if naive_cycles != cycles:
+                raise SimulationError(
+                    f"mpsoc sweep: naive kernel finished at cycle "
+                    f"{naive_cycles} but idle-skip at {cycles} -- "
+                    f"kernel equivalence violated"
+                )
+        if base_cycles is None:
+            base_cycles = cycles
+        seconds = cycles / (clock_mhz * 1e6)
+        points.append(MpsocPoint(
+            ocps=count,
+            jobs=n_jobs,
+            cycles=cycles,
+            ops_per_sec=n_jobs / seconds if seconds else 0.0,
+            words_per_cycle=n_jobs * job_words / cycles if cycles else 0.0,
+            speedup_vs_1=base_cycles / cycles if cycles else 0.0,
+            utilization=utilization,
+            host_seconds=host_seconds,
+        ))
+    return MpsocSweep(
+        workload="mpsoc_passthrough",
+        jobs=n_jobs,
+        job_words=job_words,
+        compute_latency=compute_latency,
+        batch_jobs=batch_jobs,
+        clock_mhz=clock_mhz,
+        points=points,
+    )
+
+
+def render_mpsoc(sweep: MpsocSweep) -> str:
+    header = (
+        f"{'ocps':>4} {'cycles':>10} {'ops/s':>12} {'words/cyc':>10} "
+        f"{'speedup':>8} {'util %':>7}"
+    )
+    lines = [
+        f"mpsoc scale-out: {sweep.jobs} x {sweep.job_words}-word "
+        f"{sweep.workload} jobs, batch={sweep.batch_jobs}, "
+        f"{sweep.clock_mhz:g} MHz",
+        header,
+        "-" * len(header),
+    ]
+    for p in sweep.points:
+        lines.append(
+            f"{p.ocps:>4} {p.cycles:>10} {p.ops_per_sec:>12.0f} "
+            f"{p.words_per_cycle:>10.3f} {p.speedup_vs_1:>7.2f}x "
+            f"{100 * p.utilization:>6.1f}"
+        )
+    return "\n".join(lines)

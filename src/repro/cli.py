@@ -271,7 +271,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import WORKLOADS, render_results, run_benchmarks, write_report
+    from .bench import (
+        WORKLOADS,
+        render_mpsoc,
+        render_results,
+        run_benchmarks,
+        run_mpsoc_sweep,
+        write_report,
+    )
 
     names = args.workloads or None
     for name in names or []:
@@ -279,10 +286,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise ReproError(
                 f"unknown workload {name!r} (known: {', '.join(WORKLOADS)})"
             )
-    results = run_benchmarks(names)
-    print(render_results(results))
+    results = []
+    if not args.only_mpsoc:
+        results = run_benchmarks(names)
+        print(render_results(results))
+    sweep = None
+    if not args.no_mpsoc:
+        try:
+            ocp_counts = tuple(
+                int(part) for part in args.mpsoc_ocps.split(",") if part
+            )
+        except ValueError:
+            raise ReproError(
+                f"bad --mpsoc-ocps {args.mpsoc_ocps!r}: expected "
+                "comma-separated OCP counts"
+            ) from None
+        sweep = run_mpsoc_sweep(
+            n_jobs=args.mpsoc_jobs,
+            ocp_counts=ocp_counts,
+            batch_jobs=args.mpsoc_batch,
+        )
+        print(render_mpsoc(sweep))
     output = args.output or "BENCH_simulator.json"
-    write_report(results, output)
+    write_report(results, output, mpsoc=sweep)
     print(f"# wrote {output}", file=sys.stderr)
     return 0
 
@@ -476,6 +502,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o",
                    help="machine-readable JSON report path "
                         "(default: BENCH_simulator.json)")
+    p.add_argument("--mpsoc-jobs", type=int, default=192,
+                   help="jobs in the MPSoC scale-out sweep "
+                        "(default: 192)")
+    p.add_argument("--mpsoc-ocps", default="1,2,4,8",
+                   help="comma-separated OCP counts for the sweep "
+                        "(default: 1,2,4,8)")
+    p.add_argument("--mpsoc-batch", type=int, default=4,
+                   help="jobs fused per batched dispatch (default: 4)")
+    p.add_argument("--no-mpsoc", action="store_true",
+                   help="skip the MPSoC scale-out sweep")
+    p.add_argument("--only-mpsoc", action="store_true",
+                   help="run only the MPSoC sweep (skip the kernel "
+                        "workloads)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser(

@@ -187,6 +187,47 @@ def as_program(instructions: Sequence[OuInstruction]) -> OuProgram:
     return OuProgram.from_instructions(list(instructions))
 
 
+def concat_programs(
+    programs: Sequence[OuProgram], terminate: bool = True,
+) -> OuProgram:
+    """Concatenate terminated programs into one batched program.
+
+    The scheduler uses this to fuse several small jobs into a single
+    microcode image: each constituent's trailing terminators
+    (``eop``/``halt``) are stripped, the bodies are appended in order,
+    and a single ``eop`` is emitted at the end (one interrupt for the
+    whole batch).
+
+    Absolute control flow (``jmp``) is rejected -- its targets would be
+    wrong after relocation.  ``loop``/``endl`` blocks are
+    position-independent and pass through unchanged.
+    """
+    batched = OuProgram()
+    for position, program in enumerate(programs):
+        body = program.instructions
+        while body and body[-1].op in (OuOp.EOP, OuOp.HALT):
+            body.pop()
+        if not body:
+            raise ConfigurationError(
+                f"program {position} is empty after stripping terminators"
+            )
+        for instr in body:
+            if instr.op is OuOp.JMP:
+                raise ConfigurationError(
+                    f"program {position} uses jmp: absolute targets "
+                    "cannot be relocated by concatenation"
+                )
+            if instr.op in (OuOp.EOP, OuOp.HALT):
+                raise ConfigurationError(
+                    f"program {position} terminates mid-body; "
+                    "only trailing terminators can be stripped"
+                )
+        batched.extend(OuProgram.from_instructions(body))
+    if terminate:
+        batched.eop()
+    return batched
+
+
 # ---------------------------------------------------------------------------
 # static cycle estimation
 # ---------------------------------------------------------------------------

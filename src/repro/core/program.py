@@ -196,6 +196,19 @@ class OuProgram:
             offset += take
             remaining -= take
 
+    # -- composition -------------------------------------------------------
+    def extend(self, other: "OuProgram") -> "OuProgram":
+        """Append another program's instructions (batching composition).
+
+        The other program is copied instruction by instruction; callers
+        concatenating *terminated* programs (trailing ``eop``/``halt``)
+        should go through :func:`repro.core.codegen.concat_programs`,
+        which strips the inner terminators and rejects programs whose
+        control flow would break under relocation.
+        """
+        self._instructions.extend(other.instructions)
+        return self
+
     # -- analysis ----------------------------------------------------------
     def verify(self, rac=None, configured_banks=None, bank_windows=None,
                step_budget: Optional[int] = None, **kwargs):

@@ -24,13 +24,17 @@ workloads in :mod:`repro.obs.workloads`.
 from .attribution import AttributionReport, attribute_run
 from .counters import derive_counters
 from .exporters import to_perfetto, to_vcd
+from .sched import OcpSchedStats, ScheduleReport, attribute_schedule
 from .spans import Span, SpanTrace, reconstruct_spans
 
 __all__ = [
     "AttributionReport",
+    "OcpSchedStats",
+    "ScheduleReport",
     "Span",
     "SpanTrace",
     "attribute_run",
+    "attribute_schedule",
     "derive_counters",
     "reconstruct_spans",
     "to_perfetto",

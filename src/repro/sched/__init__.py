@@ -1,0 +1,50 @@
+"""Multi-OCP throughput scheduling (MPSoC scale-out).
+
+The paper's Section II-A argument -- OCPs are ordinary bus
+peripherals, so one SoC can host many -- only pays off with a
+dispatcher that turns N attached coprocessors into aggregate
+throughput.  This package provides that dispatcher plus its
+correctness machinery:
+
+* :class:`~repro.sched.job.Job` / :class:`~repro.sched.job.JobResult`
+  -- the job model (kernel kind, input block, optional dependency
+  chain);
+* :class:`~repro.sched.capability.CapabilityTable` -- kernel-kind to
+  serving-OCP routing, soclint-validated (OU170/OU171);
+* :func:`~repro.sched.batch.compose_batch` -- fuse small jobs into one
+  microcode program (single IRQ per batch);
+* :class:`~repro.sched.scheduler.ThroughputScheduler` -- the
+  cycle-accurate dispatcher (bounded queues, back-pressure, pluggable
+  round-robin / shortest-queue fairness, IRQ-driven completion,
+  abort-and-retry on traps);
+* :func:`~repro.sched.reference.run_sequential_reference` -- the
+  sequential single-OCP oracle the differential suite compares
+  against.
+"""
+
+from .batch import Batch, compose_batch, job_program
+from .capability import CapabilityTable
+from .job import Job, JobResult
+from .reference import run_sequential_reference
+from .scheduler import (
+    RoundRobinPolicy,
+    SchedulerError,
+    SchedulingPolicy,
+    ShortestQueuePolicy,
+    ThroughputScheduler,
+)
+
+__all__ = [
+    "Batch",
+    "CapabilityTable",
+    "Job",
+    "JobResult",
+    "RoundRobinPolicy",
+    "SchedulerError",
+    "SchedulingPolicy",
+    "ShortestQueuePolicy",
+    "ThroughputScheduler",
+    "compose_batch",
+    "job_program",
+    "run_sequential_reference",
+]

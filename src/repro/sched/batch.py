@@ -1,0 +1,91 @@
+"""Batch composition: fuse small jobs into one microcode program.
+
+Each job contributes the canonical Figure-4 shape (stream in, start,
+stream out) at a distinct offset inside the batch's shared input and
+output arenas; :func:`repro.core.codegen.concat_programs` fuses the
+per-job programs into one image that raises a single end-of-program
+interrupt for the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.codegen import concat_programs
+from ..core.isa import MAX_OFFSET, MAX_TRANSFER_WORDS
+from ..core.program import OuProgram
+from ..sim.errors import ConfigurationError
+from .job import Job
+
+#: microcode bank numbers the scheduler configures on every dispatch
+PROG_BANK = 0
+IN_BANK = 1
+OUT_BANK = 2
+
+
+def job_program(
+    job: Job, in_offset: int = 0, out_offset: int = 0, chunk: int = 64,
+) -> OuProgram:
+    """The standalone (terminated) microcode for one job.
+
+    The sequential reference runner executes exactly this program, so
+    batched execution is differentially comparable instruction by
+    instruction.
+    """
+    chunk = min(chunk, MAX_TRANSFER_WORDS)
+    if in_offset + job.size - 1 > MAX_OFFSET:
+        raise ConfigurationError(
+            f"job {job.job_id}: input offset {in_offset}+{job.size} "
+            f"exceeds the ISA offset field (max {MAX_OFFSET})"
+        )
+    if out_offset + job.size - 1 > MAX_OFFSET:
+        raise ConfigurationError(
+            f"job {job.job_id}: output offset {out_offset}+{job.size} "
+            f"exceeds the ISA offset field (max {MAX_OFFSET})"
+        )
+    return (
+        OuProgram()
+        .stream_to(IN_BANK, job.size, chunk=chunk, base_offset=in_offset)
+        .execs()
+        .stream_from(OUT_BANK, job.size, chunk=chunk, base_offset=out_offset)
+        .eop()
+    )
+
+
+@dataclass
+class Batch:
+    """A group of jobs fused into one dispatch."""
+
+    batch_id: int
+    jobs: List[Job]
+    program: OuProgram
+    in_offsets: List[int] = field(default_factory=list)
+    out_offsets: List[int] = field(default_factory=list)
+    attempts: int = 0
+
+    @property
+    def total_words(self) -> int:
+        return sum(job.size for job in self.jobs)
+
+
+def compose_batch(jobs: List[Job], batch_id: int, chunk: int = 64) -> Batch:
+    """Fuse ``jobs`` into a single batched program.
+
+    Jobs are laid out back to back in the input and output arenas, in
+    submission order; program order equals submission order, so chains
+    batched together keep their dependency order.
+    """
+    if not jobs:
+        raise ConfigurationError("cannot compose an empty batch")
+    programs: List[OuProgram] = []
+    in_offsets: List[int] = []
+    out_offsets: List[int] = []
+    offset = 0
+    for job in jobs:
+        in_offsets.append(offset)
+        out_offsets.append(offset)
+        programs.append(job_program(job, offset, offset, chunk=chunk))
+        offset += job.size
+    program = concat_programs(programs)
+    return Batch(batch_id, list(jobs), program, in_offsets, out_offsets)

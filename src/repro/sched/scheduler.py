@@ -1,0 +1,544 @@
+"""Throughput scheduler dispatching job streams across N OCPs.
+
+The scheduler is a :class:`~repro.sim.kernel.Component` living *inside*
+the simulated clock: per-OCP dispatch is a small state machine that
+configures bank registers over the bus one write at a time, arms
+CTRL.S|IE, sleeps on the coprocessor's IRQ line, reads CTRL back to
+separate completion from a trap, and acknowledges -- exactly the
+sequence a bare-metal interrupt-driven runtime performs, but for many
+coprocessors concurrently behind one arbiter.
+
+Routing goes through the kernel-capability table (kind -> serving
+OCPs) and a pluggable fairness policy; per-OCP queues are bounded and
+``submit`` exerts back-pressure by returning ``False`` when every
+eligible queue is full.  Trapped batches (e.g. a watchdog timeout under
+an injected execution hang) are aborted with the driver recipe --
+CTRL=0, soft reset, IRQ clear -- and retried after an exponential
+backoff.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..bus.types import AccessKind, BusRequest, BusTransfer
+from ..core.registers import (
+    CTRL_E,
+    CTRL_IE,
+    CTRL_S,
+    ERR_MASK,
+    ERR_SHIFT,
+    REG_BANK_BASE,
+    REG_CTRL,
+    REG_PROG_SIZE,
+)
+from ..sim.errors import ConfigurationError, ReproError
+from ..sim.kernel import Component
+from .batch import Batch, compose_batch
+from .capability import CapabilityTable
+from .job import Job, JobResult
+
+#: scheduler-owned RAM region: per-OCP program/input/output arenas,
+#: well clear of the low-RAM addresses the driver examples use
+SCHED_ARENA_BASE_OFFSET = 0x0020_0000
+SCHED_ARENA_STRIDE = 0x0004_0000
+ARENA_WORDS = 0x0001_0000 // 4
+
+#: back-off growth cap: retries never sleep longer than this
+MAX_BACKOFF_CYCLES = 1 << 14
+
+
+class SchedulerError(ReproError):
+    """A job stream could not be completed (unrecoverable trap)."""
+
+
+class _OcpSlot:
+    """Per-OCP dispatch state (queue + in-flight batch FSM)."""
+
+    __slots__ = (
+        "index", "ocp", "reg_base", "prog_base", "in_base", "out_base",
+        "max_job_words", "queue", "state", "batch", "writes", "transfer",
+        "resume_at", "jobs_done", "batches_done", "retries", "busy_cycles",
+        "queue_high_water", "master",
+    )
+
+    def __init__(self, index: int, ocp, reg_base: int, arena: int) -> None:
+        self.index = index
+        self.ocp = ocp
+        self.reg_base = reg_base
+        self.prog_base = arena
+        self.in_base = arena + 0x1_0000
+        self.out_base = arena + 0x2_0000
+        # a whole job's output must fit in the out FIFO: the batched
+        # program interleaves push/start/drain per job, so a job larger
+        # than the drainless FIFO capacity could deadlock the engine
+        self.max_job_words = min(ocp.fifos_out[0].depth, ARENA_WORDS)
+        self.queue: Deque[Tuple[Job, int]] = deque()
+        self.state = "idle"
+        self.batch: Optional[Batch] = None
+        self.writes: List[Tuple[int, int]] = []
+        self.transfer: Optional[BusTransfer] = None
+        self.resume_at = 0
+        self.jobs_done = 0
+        self.batches_done = 0
+        self.retries = 0
+        self.busy_cycles = 0
+        self.queue_high_water = 0
+        self.master = f"sched{index}"
+
+
+class SchedulingPolicy:
+    """Chooses a target among the eligible slots that have queue space."""
+
+    name = "policy"
+
+    def pick(self, job: Job, slots: List[_OcpSlot]) -> _OcpSlot:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Rotate over the serving OCPs, per kernel kind."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def pick(self, job: Job, slots: List[_OcpSlot]) -> _OcpSlot:
+        turn = self._counters.get(job.kind, 0)
+        self._counters[job.kind] = turn + 1
+        return slots[turn % len(slots)]
+
+
+class ShortestQueuePolicy(SchedulingPolicy):
+    """Send each job to the least-loaded serving OCP (ties: lowest index)."""
+
+    name = "shortest-queue"
+
+    def pick(self, job: Job, slots: List[_OcpSlot]) -> _OcpSlot:
+        def load(slot: _OcpSlot) -> Tuple[int, int]:
+            in_flight = len(slot.batch.jobs) if slot.batch else 0
+            return (len(slot.queue) + in_flight, slot.index)
+
+        return min(slots, key=load)
+
+
+_POLICIES = {
+    "round-robin": RoundRobinPolicy,
+    "shortest-queue": ShortestQueuePolicy,
+}
+
+
+class ThroughputScheduler(Component):
+    """Dispatch a stream of jobs across the SoC's coprocessors.
+
+    Parameters
+    ----------
+    soc:
+        An elaborated :class:`~repro.system.SoC`; the scheduler
+        registers itself as a simulation component.
+    capability:
+        Kind-to-OCP routing table; derived from the SoC when omitted.
+        Validated through soclint (OU170/OU171) unless ``validate``
+        is off.
+    policy:
+        ``"round-robin"``, ``"shortest-queue"``, or a
+        :class:`SchedulingPolicy` instance.
+    queue_bound:
+        Per-OCP queue capacity; ``submit`` returns ``False`` (back
+        pressure) when every eligible queue is at its bound.
+    batch_jobs:
+        Max jobs fused into one microcode program per dispatch
+        (1 = no batching).
+    max_retries:
+        Re-dispatch attempts after a trapped batch before
+        :class:`SchedulerError` is raised.
+    """
+
+    def __init__(
+        self,
+        soc,
+        capability: Optional[CapabilityTable] = None,
+        policy: "SchedulingPolicy | str" = "round-robin",
+        queue_bound: int = 8,
+        batch_jobs: int = 1,
+        chunk: int = 64,
+        max_retries: int = 2,
+        backoff_cycles: int = 64,
+        validate: bool = True,
+        name: str = "sched",
+    ) -> None:
+        super().__init__(name)
+        if not soc.ocps:
+            raise ConfigurationError("scheduler needs at least one OCP")
+        if queue_bound < 1:
+            raise ConfigurationError("queue_bound must be >= 1")
+        if batch_jobs < 1:
+            raise ConfigurationError("batch_jobs must be >= 1")
+        self._soc = soc
+        self.capability = capability or CapabilityTable.from_soc(soc)
+        if validate:
+            report = self.capability.validate(soc)
+            if report.errors:
+                raise ConfigurationError(
+                    "capability table failed soclint validation:\n"
+                    + report.render()
+                )
+        if isinstance(policy, str):
+            try:
+                policy = _POLICIES[policy]()
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown policy {policy!r}; "
+                    f"choose from {sorted(_POLICIES)}"
+                ) from None
+        self.policy = policy
+        self.queue_bound = queue_bound
+        self.batch_jobs = batch_jobs
+        self.chunk = chunk
+        self.max_retries = max_retries
+        self.backoff_cycles = backoff_cycles
+
+        from ..system import RAM_BASE
+        self._slots: Dict[int, _OcpSlot] = {}
+        for index in self.capability.indices():
+            arena = (RAM_BASE + SCHED_ARENA_BASE_OFFSET
+                     + index * SCHED_ARENA_STRIDE)
+            self._slots[index] = _OcpSlot(
+                index, soc.ocps[index], soc.ocp_base(index), arena
+            )
+        self._chains: Dict[str, int] = {}
+        self._pending_meta: Dict[str, Tuple[int, int]] = {}
+        self._next_batch_id = 0
+        self.submitted = 0
+        self.completed: Dict[str, JobResult] = {}
+        self.completion_order: List[str] = []
+        soc.sim.add(self)
+
+    # -- submission (called from outside the clock) -----------------------
+    def _feasible(self, job: Job) -> List[_OcpSlot]:
+        """Slots whose RAC can physically run this job."""
+        slots = []
+        for index in self.capability.serving(job.kind):
+            slot = self._slots[index]
+            rac = slot.ocp.rac
+            appetite = rac.items_in[0] if rac.items_in else 1
+            if job.size % max(1, appetite) == 0 and \
+                    job.size <= slot.max_job_words:
+                slots.append(slot)
+        if not slots:
+            raise ConfigurationError(
+                f"job {job.job_id} ({job.kind}, {job.size} words) fits "
+                "no serving OCP (size must be a multiple of the RAC "
+                "block size and fit its output FIFO)"
+            )
+        return slots
+
+    def _route(self, job: Job) -> Optional[List[_OcpSlot]]:
+        """Candidate slots with queue space, or ``None`` (back-pressure).
+
+        Chained jobs are pinned: only the chain's home slot qualifies.
+        """
+        feasible = self._feasible(job)
+        if job.chain is not None and job.chain in self._chains:
+            home = self._slots[self._chains[job.chain]]
+            if home not in feasible:
+                raise ConfigurationError(
+                    f"chain {job.chain!r} is pinned to OCP {home.index}, "
+                    f"which cannot run job {job.job_id}"
+                )
+            feasible = [home]
+        open_slots = [s for s in feasible
+                      if len(s.queue) < self.queue_bound]
+        return open_slots or None
+
+    def can_accept(self, job: Job) -> bool:
+        """Would :meth:`submit` succeed right now?"""
+        return self._route(job) is not None
+
+    def submit(self, job: Job) -> bool:
+        """Enqueue a job; ``False`` means back-pressure (try later)."""
+        if job.job_id in self.completed or any(
+            queued.job_id == job.job_id
+            for slot in self._slots.values() for queued, _ in slot.queue
+        ):
+            raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        open_slots = self._route(job)
+        if open_slots is None:
+            return False
+        if len(open_slots) == 1:
+            target = open_slots[0]
+        else:
+            target = self.policy.pick(job, open_slots)
+        if job.chain is not None and job.chain not in self._chains:
+            self._chains[job.chain] = target.index
+        target.queue.append((job, self.now))
+        target.queue_high_water = max(
+            target.queue_high_water, len(target.queue)
+        )
+        self.submitted += 1
+        return True
+
+    def submit_blocking(self, job: Job, max_cycles: int = 5_000_000) -> None:
+        """Submit, advancing the simulation until space frees up."""
+        while not self.submit(job):
+            self._soc.run_until(
+                lambda: self.can_accept(job), max_cycles=max_cycles,
+                what=f"queue space for job {job.job_id}",
+            )
+
+    def run_stream(
+        self, jobs: List[Job], max_cycles: int = 5_000_000,
+    ) -> List[JobResult]:
+        """Submit a whole stream, drain it, return results in order."""
+        for job in jobs:
+            self.submit_blocking(job, max_cycles=max_cycles)
+        self.drain(max_cycles=max_cycles)
+        return [self.completed[job.job_id] for job in jobs]
+
+    def drain(self, max_cycles: int = 5_000_000) -> None:
+        """Advance the simulation until every queued job completed."""
+        self._soc.run_until(
+            lambda: self.idle, max_cycles=max_cycles,
+            what="scheduler drain",
+        )
+
+    @property
+    def idle(self) -> bool:
+        return all(
+            slot.state == "idle" and not slot.queue
+            for slot in self._slots.values()
+        )
+
+    @property
+    def slots(self) -> List[_OcpSlot]:
+        return [self._slots[i] for i in sorted(self._slots)]
+
+    @property
+    def soc(self):
+        return self._soc
+
+    # -- dispatch state machine (inside the clock) ------------------------
+    def tick(self) -> None:
+        for slot in self._slots.values():
+            if slot.state != "idle":
+                slot.busy_cycles += 1
+            self._step_slot(slot)
+
+    def on_skip(self, cycles: int) -> None:
+        # busy accounting must match the naive stepper: states are
+        # frozen across a declared-idle window, so a flat add suffices
+        for slot in self._slots.values():
+            if slot.state != "idle":
+                slot.busy_cycles += cycles
+
+    def next_activity(self) -> Optional[int]:
+        wake: Optional[int] = None
+        for slot in self._slots.values():
+            slot_wake = self._slot_wake(slot)
+            if slot_wake is not None:
+                wake = slot_wake if wake is None else min(wake, slot_wake)
+        return wake
+
+    def _slot_wake(self, slot: _OcpSlot) -> Optional[int]:
+        if slot.state == "idle":
+            return self.now if slot.queue else None
+        if slot.state == "running":
+            # the IRQ line can only flip during a ticked cycle
+            return self.now if slot.ocp.irq.pending else None
+        if slot.state == "backoff":
+            return max(slot.resume_at, self.now)
+        transfer = slot.transfer
+        return self.now if transfer is not None and transfer.done else None
+
+    def _step_slot(self, slot: _OcpSlot) -> None:
+        handler = getattr(self, f"_step_{slot.state}")
+        handler(slot)
+
+    def _step_idle(self, slot: _OcpSlot) -> None:
+        if not slot.queue:
+            return
+        self._dispatch(slot)
+
+    def _dispatch(self, slot: _OcpSlot) -> None:
+        jobs: List[Job] = []
+        total = 0
+        dispatch_cycles: List[int] = []
+        while slot.queue and len(jobs) < self.batch_jobs:
+            job, submitted = slot.queue[0]
+            # a batch must fit the shared arenas (per-job FIFO fit is
+            # already guaranteed at submission time)
+            if jobs and total + job.size > ARENA_WORDS:
+                break
+            slot.queue.popleft()
+            jobs.append(job)
+            dispatch_cycles.append(submitted)
+            total += job.size
+        batch = compose_batch(jobs, self._next_batch_id, chunk=self.chunk)
+        self._next_batch_id += 1
+        batch.attempts = 1
+        slot.batch = batch
+        self._place_batch(slot, batch)
+        # remember submit cycles for the results (dispatch == now)
+        for job, submitted in zip(jobs, dispatch_cycles):
+            self._pending_meta[job.job_id] = (submitted, self.now)
+        self._arm(slot)
+        self.trace_event(
+            "dispatch", ocp=slot.index, batch=batch.batch_id,
+            jobs=len(jobs), words=batch.total_words,
+        )
+
+    def _place_batch(self, slot: _OcpSlot, batch: Batch) -> None:
+        """Stage program and inputs in the slot's arenas (backdoor).
+
+        Same application-owned-memory convention as the driver's
+        ``place_program``: staging models the host preparing buffers
+        ahead of time; the traffic the simulation measures is the
+        OCP's own mvtc/mvfc stream.
+        """
+        self._soc.write_ram(slot.prog_base, batch.program.words())
+        flat: List[int] = []
+        for job in batch.jobs:
+            flat.extend(job.words)
+        self._soc.write_ram(slot.in_base, flat)
+
+    def _arm(self, slot: _OcpSlot) -> None:
+        assert slot.batch is not None
+        slot.writes = [
+            (slot.reg_base + REG_BANK_BASE + 0, slot.prog_base),
+            (slot.reg_base + REG_BANK_BASE + 4, slot.in_base),
+            (slot.reg_base + REG_BANK_BASE + 8, slot.out_base),
+            (slot.reg_base + REG_PROG_SIZE, len(slot.batch.program)),
+            (slot.reg_base + REG_CTRL, CTRL_S | CTRL_IE),
+        ]
+        slot.state = "config"
+        self._issue_write(slot)
+
+    def _issue_write(self, slot: _OcpSlot) -> None:
+        address, value = slot.writes.pop(0)
+        slot.transfer = self._soc.bus.submit(BusRequest(
+            master=slot.master, kind=AccessKind.WRITE, address=address,
+            burst=1, data=[value], priority=0,
+        ))
+
+    def _step_config(self, slot: _OcpSlot) -> None:
+        transfer = slot.transfer
+        if transfer is None or not transfer.done:
+            return
+        if transfer.error:
+            raise SchedulerError(
+                f"OCP {slot.index}: config write failed: "
+                f"{transfer.error_reason}"
+            )
+        if slot.writes:
+            self._issue_write(slot)
+        else:
+            slot.transfer = None
+            slot.state = "running"
+
+    def _step_running(self, slot: _OcpSlot) -> None:
+        if not slot.ocp.irq.pending:
+            return
+        slot.ocp.irq.clear()
+        slot.transfer = self._soc.bus.submit(BusRequest(
+            master=slot.master, kind=AccessKind.READ,
+            address=slot.reg_base + REG_CTRL, burst=1, priority=0,
+        ))
+        slot.state = "status"
+
+    def _step_status(self, slot: _OcpSlot) -> None:
+        transfer = slot.transfer
+        if transfer is None or not transfer.done:
+            return
+        status = transfer.data[0]
+        slot.transfer = None
+        if status & CTRL_E:
+            self._trap(slot, (status & ERR_MASK) >> ERR_SHIFT)
+        else:
+            self._harvest(slot)
+
+    def _trap(self, slot: _OcpSlot, code: int) -> None:
+        batch = slot.batch
+        assert batch is not None
+        self.trace_event(
+            "trap", ocp=slot.index, batch=batch.batch_id, code=code,
+            attempt=batch.attempts,
+        )
+        if batch.attempts > self.max_retries:
+            raise SchedulerError(
+                f"OCP {slot.index}: batch {batch.batch_id} trapped with "
+                f"error code {code} after {batch.attempts} attempts "
+                f"(jobs {[job.job_id for job in batch.jobs]})"
+            )
+        slot.transfer = self._soc.bus.submit(BusRequest(
+            master=slot.master, kind=AccessKind.WRITE,
+            address=slot.reg_base + REG_CTRL, burst=1, data=[0], priority=0,
+        ))
+        slot.state = "abort"
+
+    def _step_abort(self, slot: _OcpSlot) -> None:
+        transfer = slot.transfer
+        if transfer is None or not transfer.done:
+            return
+        batch = slot.batch
+        assert batch is not None
+        slot.transfer = None
+        slot.ocp.soft_reset()
+        slot.ocp.irq.clear()
+        slot.retries += 1
+        backoff = min(
+            self.backoff_cycles * (1 << (batch.attempts - 1)),
+            MAX_BACKOFF_CYCLES,
+        )
+        slot.resume_at = self.now + backoff
+        slot.state = "backoff"
+
+    def _step_backoff(self, slot: _OcpSlot) -> None:
+        if self.now < slot.resume_at:
+            return
+        batch = slot.batch
+        assert batch is not None
+        batch.attempts += 1
+        self.trace_event(
+            "retry", ocp=slot.index, batch=batch.batch_id,
+            attempt=batch.attempts,
+        )
+        # inputs are still staged; a full reconfigure restarts cleanly
+        self._place_batch(slot, batch)
+        self._arm(slot)
+
+    def _harvest(self, slot: _OcpSlot) -> None:
+        batch = slot.batch
+        assert batch is not None
+        for job, offset in zip(batch.jobs, batch.out_offsets):
+            outputs = self._soc.read_ram(
+                slot.out_base + 4 * offset, job.size
+            )
+            submitted, dispatched = self._pending_meta.pop(job.job_id)
+            self.completed[job.job_id] = JobResult(
+                job=job, ocp_index=slot.index, outputs=outputs,
+                submit_cycle=submitted, dispatch_cycle=dispatched,
+                complete_cycle=self.now, attempts=batch.attempts,
+                batch_id=batch.batch_id,
+            )
+            self.completion_order.append(job.job_id)
+            slot.jobs_done += 1
+        slot.batches_done += 1
+        self.trace_event(
+            "complete", ocp=slot.index, batch=batch.batch_id,
+            jobs=len(batch.jobs),
+        )
+        slot.transfer = self._soc.bus.submit(BusRequest(
+            master=slot.master, kind=AccessKind.WRITE,
+            address=slot.reg_base + REG_CTRL, burst=1, data=[0], priority=0,
+        ))
+        slot.state = "ack"
+
+    def _step_ack(self, slot: _OcpSlot) -> None:
+        transfer = slot.transfer
+        if transfer is None or not transfer.done:
+            return
+        slot.transfer = None
+        slot.batch = None
+        slot.state = "idle"

@@ -287,3 +287,46 @@ def check_irq(model: SystemModel, report: VerifyReport) -> None:
                 "duplicate vectors alias one line",
                 where=owner,
             )
+
+
+# -- scheduler capability tables (OU17x) ----------------------------------
+
+def check_capabilities(
+    model: SystemModel,
+    report: VerifyReport,
+    capabilities: Mapping[str, Sequence[int]],
+) -> None:
+    """Validate a kind->OCP routing table against the elaborated SoC.
+
+    The scheduler dispatches by kernel kind; a table naming a kind no
+    RAC serves (OU170) or routing to a wrong/absent OCP (OU171) is a
+    dispatch-time failure, so both are errors.
+    """
+    elaborated = [ocp.ocp.rac.kind for ocp in model.ocps]
+    for kind, indices in capabilities.items():
+        valid = 0
+        for index in indices:
+            where = f"capability[{kind!r}]"
+            if not 0 <= index < len(elaborated):
+                report.add(
+                    "OU171", None,
+                    f"routes to OCP {index}, but only "
+                    f"{len(elaborated)} OCP(s) are elaborated",
+                    where=where,
+                )
+            elif elaborated[index] != kind:
+                report.add(
+                    "OU171", None,
+                    f"routes to OCP {index}, whose RAC serves "
+                    f"{elaborated[index]!r}",
+                    where=where,
+                )
+            else:
+                valid += 1
+        if not valid:
+            report.add(
+                "OU170", None,
+                "no elaborated RAC serves this kernel kind; jobs of "
+                "this kind can never be dispatched",
+                where=f"capability[{kind!r}]",
+            )

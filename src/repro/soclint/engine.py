@@ -70,6 +70,7 @@ def lint_soc(
     clock_mhz: Optional[float] = None,
     technology: Union[Technology, str, None] = None,
     caches: Optional[Sequence] = None,
+    capabilities: Optional[Mapping[str, Sequence[int]]] = None,
     step_budget: Optional[int] = DEFAULT_STEP_BUDGET,
     suppress: Iterable[str] = (),
 ) -> VerifyReport:
@@ -95,6 +96,9 @@ def lint_soc(
         (50 MHz when absent) on Artix-7.
     caches:
         CPU-side caches that memory-writing masters must snoop.
+    capabilities:
+        Scheduler capability table (kernel kind -> OCP indices) to
+        validate against the elaborated coprocessors (OU17x).
     suppress:
         Diagnostic codes to move aside (never silently dropped).
     """
@@ -108,6 +112,8 @@ def lint_soc(
     checks.check_timing(model, report, technology=tech)
     checks.check_coherence(model, report)
     checks.check_irq(model, report)
+    if capabilities is not None:
+        checks.check_capabilities(model, report, capabilities)
 
     ocp_name = (
         model.ocps[ocp_index].name

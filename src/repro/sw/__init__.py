@@ -2,6 +2,7 @@
 
 from .baremetal import BaremetalRuntime
 from .driver import DRIVER_MASTER, OuessantDriver, RunResult
+from .jobs import JobClient
 from .library import OuessantLibrary
 from .linux import LinuxCosts, LinuxRuntime
 from .profiler import RunProfile, profile_run
@@ -9,6 +10,7 @@ from .profiler import RunProfile, profile_run
 __all__ = [
     "BaremetalRuntime",
     "DRIVER_MASTER",
+    "JobClient",
     "LinuxCosts",
     "LinuxRuntime",
     "OuessantDriver",

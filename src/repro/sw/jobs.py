@@ -1,0 +1,48 @@
+"""Driver-level job submission facade over the throughput scheduler.
+
+:class:`JobClient` is to the scheduler what
+:class:`~repro.sw.driver.OuessantDriver` is to a single OCP: the
+software-side entry point.  It owns job-id allocation, blocks on
+back-pressure by advancing the simulated clock, and hands results back
+in submission order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sched.job import Job, JobResult
+from ..sched.scheduler import ThroughputScheduler
+
+
+class JobClient:
+    """Submit kernels by kind; collect results in submission order."""
+
+    def __init__(self, scheduler: ThroughputScheduler) -> None:
+        self.scheduler = scheduler
+        self._order: List[str] = []
+        self._serial = 0
+
+    def submit(
+        self,
+        kind: str,
+        words: Sequence[int],
+        chain: Optional[str] = None,
+        max_cycles: int = 5_000_000,
+    ) -> Job:
+        """Submit one job, blocking on back-pressure; returns the Job."""
+        self._serial += 1
+        job = Job(f"job{self._serial}", kind, list(words), chain=chain)
+        self.scheduler.submit_blocking(job, max_cycles=max_cycles)
+        self._order.append(job.job_id)
+        return job
+
+    def drain(self, max_cycles: int = 5_000_000) -> List[JobResult]:
+        """Run the stream to completion; results in submission order."""
+        self.scheduler.drain(max_cycles=max_cycles)
+        completed = self.scheduler.completed
+        return [completed[job_id] for job_id in self._order]
+
+    def results(self) -> Dict[str, JobResult]:
+        """Results completed so far, keyed by job id."""
+        return dict(self.scheduler.completed)

@@ -206,3 +206,56 @@ class SoC:
     # -- execution -----------------------------------------------------------
     def run_until(self, predicate, max_cycles: int = 5_000_000, what: str = "condition") -> int:
         return self.sim.run_until(predicate, max_cycles=max_cycles, what=what)
+
+
+# ---------------------------------------------------------------------------
+# MPSoC elaboration helpers
+# ---------------------------------------------------------------------------
+
+def build_mpsoc(racs: List[RAC], ocp_kwargs=None, **soc_kwargs) -> SoC:
+    """Elaborate an N-OCP SoC from a heterogeneous RAC list.
+
+    Convenience over ``SoC(racs=...)`` for scale-out work:
+
+    * component names are uniquified (two ``PassthroughRac()`` share
+      the default name ``"loopback"``, which the kernel would reject);
+    * ``ocp_kwargs`` (e.g. ``{"watchdog_cycles": 5000}``) are forwarded
+      to *every* :meth:`SoC.add_ocp` call, which plain construction
+      cannot express.
+    """
+    soc = SoC(racs=[], **soc_kwargs)
+    seen: set = set()
+    for index, rac in enumerate(racs):
+        if rac.name in seen:
+            rac.name = f"{rac.name}{index}"
+        seen.add(rac.name)
+        soc.add_ocp(rac, index, **(ocp_kwargs or {}))
+    if soc.strict:
+        soc.check_integrity()
+    return soc
+
+
+def plan_mpsoc_map(
+    n_ocps: int,
+    ocp_stride: int = OuessantCoprocessor.WINDOW_BYTES,
+    ram_size: int = RAM_SIZE,
+):
+    """The planned memory map of an N-OCP SoC, for pre-elaboration lint.
+
+    Returns ``(name, base, size)`` tuples for
+    :func:`repro.soclint.lint_map_plan`.  A non-default ``ocp_stride``
+    below the window size models a mis-planned layout (overlapping OCP
+    windows) that the linter must catch before any slave exists.
+    """
+    plan = [
+        ("ram", RAM_BASE, ram_size),
+        ("timer", TIMER_BASE, 64),
+    ]
+    for index in range(n_ocps):
+        name = f"ocp{index}" if index else "ocp"
+        plan.append((
+            name,
+            OCP_BASE + index * ocp_stride,
+            OuessantCoprocessor.WINDOW_BYTES,
+        ))
+    return plan

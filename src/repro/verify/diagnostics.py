@@ -284,6 +284,20 @@ _ENTRIES: Sequence[CatalogEntry] = (
         "the controller: the duplicate vector aliases the first and "
         "its handler never fires independently.",
     ),
+    # -- system level: scheduler capability tables ------------------------
+    CatalogEntry(
+        "OU170", SEVERITY_ERROR, "capability-kernel-unserved",
+        "A scheduler capability table names a kernel kind that no "
+        "elaborated RAC serves: every job of that kind is "
+        "undispatchable and the stream can never drain.",
+    ),
+    CatalogEntry(
+        "OU171", SEVERITY_ERROR, "capability-target-mismatch",
+        "A capability table entry routes a kernel kind to an OCP index "
+        "that is out of range or whose elaborated RAC is of a "
+        "different kind: dispatch would run the wrong accelerator or "
+        "crash.",
+    ),
 )
 
 #: the full catalog, keyed by code

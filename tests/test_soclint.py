@@ -278,6 +278,99 @@ def test_double_registered_irq_is_ou161():
 
 
 # ---------------------------------------------------------------------------
+# multi-OCP elaborations and capability tables (OU17x)
+# ---------------------------------------------------------------------------
+
+def _mpsoc(n_ocps=4):
+    from repro.system import build_mpsoc
+
+    racs = [
+        PassthroughRac(name=f"pt{i}") if i % 2 == 0
+        else ScaleRac(name=f"sc{i}")
+        for i in range(n_ocps)
+    ]
+    return build_mpsoc(racs)
+
+
+@pytest.mark.parametrize("n_ocps", [2, 4, 8])
+def test_heterogeneous_mpsoc_elaboration_is_clean(n_ocps):
+    """build_mpsoc SoCs pass every OU1xx check at 2/4/8 coprocessors."""
+    report = lint_soc(_mpsoc(n_ocps))
+    assert report.clean
+    assert report.findings == []
+
+
+def test_overlapping_mpsoc_plan_is_ou100():
+    """A map plan whose OCP stride is below the window size overlaps."""
+    from repro.system import plan_mpsoc_map
+
+    assert lint_map_plan(plan_mpsoc_map(4)).clean
+    report = lint_map_plan(plan_mpsoc_map(4, ocp_stride=32))
+    assert "OU100" in codes(report)
+    assert not report.clean
+
+
+def test_truncated_mpsoc_window_is_ou110():
+    """A truncated window in a generated multi-OCP map is caught."""
+    soc = _raw_soc()
+    for index in range(3):
+        ocp = OuessantCoprocessor(
+            PassthroughRac(name=f"pt{index}"), name=f"ocp{index}",
+            bus=soc.bus,
+        )
+        soc.sim.add_all(ocp.components())
+        # the last window is 16 bytes: too small for the register file
+        size = 16 if index == 2 else OuessantCoprocessor.WINDOW_BYTES
+        soc.bus.attach_slave(
+            f"ocp{index}", OCP_BASE + index * 0x100, size, ocp.interface
+        )
+        soc.irqc.register(ocp.irq)
+        soc.ocps.append(ocp)
+    report = lint_soc(soc)
+    assert "OU110" in codes(report)
+    assert any(f.code == "OU110" and "ocp2" in f.where
+               for f in report.findings)
+
+
+def test_capability_kind_with_no_serving_rac_is_ou170():
+    report = lint_soc(_mpsoc(2), capabilities={"dft": [0]})
+    assert "OU170" in codes(report)
+    assert "OU171" in codes(report)  # index 0 hosts a passthrough RAC
+    assert not report.clean
+
+
+def test_capability_index_out_of_range_is_ou171():
+    report = lint_soc(_mpsoc(2), capabilities={"passthrough": [0, 5]})
+    assert "OU171" in codes(report)
+    assert "OU170" not in codes(report)  # index 0 still serves the kind
+
+
+def test_capability_wrong_kind_target_is_ou171():
+    # index 1 hosts the scale RAC, not a passthrough
+    report = lint_soc(_mpsoc(2), capabilities={"passthrough": [1]})
+    assert {"OU170", "OU171"} <= codes(report)
+
+
+def test_derived_capability_table_is_clean():
+    from repro.sched import CapabilityTable
+
+    soc = _mpsoc(4)
+    report = CapabilityTable.from_soc(soc).validate(soc)
+    assert report.clean
+    assert report.findings == []
+
+
+def test_scheduler_rejects_invalid_capability_table():
+    from repro.sched import CapabilityTable, ThroughputScheduler
+
+    soc = _mpsoc(2)
+    bad = CapabilityTable({"passthrough": [1]})
+    with pytest.raises(ConfigurationError) as excinfo:
+        ThroughputScheduler(soc, capability=bad)
+    assert "OU171" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
 # SoC integration: strict mode and .lint()
 # ---------------------------------------------------------------------------
 
