@@ -9,6 +9,8 @@ original project shipped alongside its RTL:
   optional ``--firmware`` composition of the microcode pass
 * ``verify``    -- microcode static analysis incl. cross-layer
   contracts (OU0xx)
+* ``racecheck`` -- cross-OCP concurrency-hazard analysis of a planned
+  job stream (OU2xx)
 * ``estimate``  -- FPGA resource report for an OCP + RAC
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
@@ -21,8 +23,8 @@ Every command reads/writes plain text so it composes with shell
 pipelines; ``main`` returns a process exit code and is directly
 callable from tests.
 
-Exit codes for the analysis commands (``lint``, ``verify``) are a
-documented contract for scripting:
+Exit codes for the analysis commands (``lint``, ``verify``,
+``racecheck``) are a documented contract for scripting:
 
 * ``0`` -- the program is clean (no error-severity findings),
 * ``1`` -- at least one error finding,
@@ -189,6 +191,92 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     return _run_verifier(args, _parse_bank_sizes(args.bank_size))
+
+
+def _stream_int(doc: dict, key: str) -> Optional[int]:
+    """Read an optional integer field; hex strings (``"0x.."``) ok."""
+    value = doc.get(key)
+    if value is None:
+        return None
+    try:
+        return int(value, 0) if isinstance(value, str) else int(value)
+    except (TypeError, ValueError):
+        raise ReproError(
+            f"bad stream field {key!r}: {value!r} is not an integer"
+        ) from None
+
+
+def _load_stream(path: str) -> dict:
+    """Parse a job-stream description JSON file."""
+    import json
+
+    try:
+        doc = json.loads(_read_text(path))
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"bad stream file {path!r}: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ReproError(
+            f"bad stream file {path!r}: expected a JSON object"
+        )
+    return doc
+
+
+def _cmd_racecheck(args: argparse.Namespace) -> int:
+    from .racelint import check_stream
+    from .sched.capability import CapabilityTable
+    from .sched.job import Job
+
+    doc = _load_stream(args.input)
+    specs = doc.get("ocps")
+    if not specs or not isinstance(specs, list):
+        raise ReproError("stream file needs a non-empty 'ocps' list")
+    racs = [_make_rac(str(spec)) for spec in specs]
+    capability = None
+    table = doc.get("capability")
+    if table is not None:
+        if not isinstance(table, dict):
+            raise ReproError("'capability' must map kind -> OCP list")
+        capability = CapabilityTable(
+            {str(kind): list(indices)
+             for kind, indices in table.items()}
+        )
+    jobs = []
+    for position, entry in enumerate(doc.get("jobs", [])):
+        if not isinstance(entry, dict) or not entry.get("kind"):
+            raise ReproError(
+                f"job #{position}: each job needs at least a 'kind'"
+            )
+        words = entry.get("words")
+        if words is None:
+            size = _stream_int(entry, "size")
+            if not size or size < 1:
+                raise ReproError(
+                    f"job #{position}: needs 'words' or a positive "
+                    "'size'"
+                )
+            words = [0] * size
+        jobs.append(Job(
+            str(entry.get("id", f"job{position}")),
+            str(entry["kind"]),
+            [int(word) for word in words],
+            chain=entry.get("chain"),
+        ))
+    if not jobs:
+        raise ReproError("stream file has no jobs")
+    batch_jobs = (args.batch_jobs if args.batch_jobs is not None
+                  else _stream_int(doc, "batch_jobs") or 1)
+    report = check_stream(
+        jobs,
+        racs=racs,
+        capability=capability,
+        batch_jobs=batch_jobs,
+        chunk=_stream_int(doc, "chunk") or 64,
+        arena_base=_stream_int(doc, "arena_base"),
+        arena_stride=_stream_int(doc, "arena_stride"),
+        suppress=args.suppress or (),
+    )
+    print(report.render_json() if args.json else report.render())
+    return 0 if report.clean else 1
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -457,6 +545,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suppress", nargs="*", metavar="CODE",
                    help="diagnostic codes to suppress (e.g. OU010)")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "racecheck",
+        help="static concurrency-hazard analysis of a planned job "
+             "stream (exit: 0 clean, 1 hazards, 2 usage)",
+    )
+    p.add_argument("input",
+                   help="stream description JSON ('-' for stdin): "
+                        "{'ocps': [SPEC, ...], 'jobs': [{'id', 'kind', "
+                        "'size'|'words', 'chain'?}, ...], "
+                        "'capability'?, 'batch_jobs'?, 'chunk'?, "
+                        "'arena_base'?, 'arena_stride'?}")
+    p.add_argument("--batch-jobs", type=int, default=None,
+                   help="override the stream's batching degree")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--suppress", nargs="*", metavar="CODE",
+                   help="diagnostic codes to suppress (e.g. OU205)")
+    p.set_defaults(fn=_cmd_racecheck)
 
     p = sub.add_parser("estimate", help="FPGA resource report")
     p.add_argument("--rac", default="dft:256")

@@ -15,7 +15,6 @@ from .dpr import DPRManager, PartialBitstream
 from .encoding import decode, encode
 from .firmware import FirmwarePlan, plan_streaming_run
 from .interface import OuessantInterface
-from .lint import Diagnostic, has_errors, lint_program, render_diagnostics
 from .refmodel import (
     ReferenceMemory,
     ReferenceRAC,
@@ -50,7 +49,6 @@ from .standalone import StandaloneSequencer
 __all__ = [
     "BASE_SET",
     "CycleEstimate",
-    "Diagnostic",
     "FirmwareImage",
     "FirmwarePlan",
     "pack",
@@ -63,9 +61,6 @@ __all__ = [
     "ReferenceMemory",
     "ReferenceRAC",
     "execute_reference",
-    "has_errors",
-    "lint_program",
-    "render_diagnostics",
     "CTRL_D",
     "CTRL_IE",
     "CTRL_S",

@@ -188,7 +188,9 @@ def as_program(instructions: Sequence[OuInstruction]) -> OuProgram:
 
 
 def concat_programs(
-    programs: Sequence[OuProgram], terminate: bool = True,
+    programs: Sequence[OuProgram],
+    terminate: bool = True,
+    names: Optional[Sequence[str]] = None,
 ) -> OuProgram:
     """Concatenate terminated programs into one batched program.
 
@@ -200,11 +202,33 @@ def concat_programs(
 
     Absolute control flow (``jmp``) is rejected -- its targets would be
     wrong after relocation.  ``loop``/``endl`` blocks are
-    position-independent and pass through unchanged.
+    position-independent and pass through unchanged -- but only when
+    the verifier can bound their execution: a constituent whose
+    worst-case step count is unbounded (malformed loop nest,
+    unstructured control flow) raises :class:`ValueError` naming the
+    offending program (``names``, when given, labels each constituent,
+    e.g. with its job id).  Concatenating such a program would hang
+    the whole batch -- and every innocent job fused with it.
     """
     batched = OuProgram()
     for position, program in enumerate(programs):
         body = program.instructions
+        if any(instr.op in (OuOp.LOOP, OuOp.ENDL, OuOp.JMP)
+               for instr in body):
+            # only looping/jumping constituents need the verifier; a
+            # straight-line body is trivially bounded (hot path: the
+            # scheduler concatenates per dispatch)
+            from ..verify.engine import verify_program
+
+            if verify_program(body).max_steps is None:
+                label = (names[position]
+                         if names is not None and position < len(names)
+                         else f"program {position}")
+                raise ValueError(
+                    f"{label}: the verifier cannot bound this "
+                    "program's execution; concatenating it would let "
+                    "one runaway job hang the whole batch"
+                )
         while body and body[-1].op in (OuOp.EOP, OuOp.HALT):
             body.pop()
         if not body:

@@ -27,6 +27,7 @@ from .capability import CapabilityTable
 from .job import Job, JobResult
 from .reference import run_sequential_reference
 from .scheduler import (
+    RaceHazardError,
     RoundRobinPolicy,
     SchedulerError,
     SchedulingPolicy,
@@ -39,6 +40,7 @@ __all__ = [
     "CapabilityTable",
     "Job",
     "JobResult",
+    "RaceHazardError",
     "RoundRobinPolicy",
     "SchedulerError",
     "SchedulingPolicy",

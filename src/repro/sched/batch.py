@@ -87,5 +87,7 @@ def compose_batch(jobs: List[Job], batch_id: int, chunk: int = 64) -> Batch:
         out_offsets.append(offset)
         programs.append(job_program(job, offset, offset, chunk=chunk))
         offset += job.size
-    program = concat_programs(programs)
+    program = concat_programs(
+        programs, names=[f"job {job.job_id}" for job in jobs]
+    )
     return Batch(batch_id, list(jobs), program, in_offsets, out_offsets)

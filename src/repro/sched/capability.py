@@ -19,6 +19,11 @@ class CapabilityTable:
     """Mapping from kernel kind to the OCP indices that serve it."""
 
     def __init__(self, table: Mapping[str, Sequence[int]]) -> None:
+        if not table:
+            raise ConfigurationError(
+                "capability table is empty: no kernel kind can ever "
+                "be dispatched"
+            )
         self._table: Dict[str, Tuple[int, ...]] = {}
         for kind, indices in table.items():
             if not indices:
@@ -74,3 +79,20 @@ class CapabilityTable:
         from ..soclint import lint_soc
 
         return lint_soc(soc, capabilities=self.as_dict())
+
+    def validate_plan(self, kinds: Sequence[str]):
+        """Check this table against a *planned* (unelaborated) SoC.
+
+        ``kinds[i]`` is the kernel kind the RAC planned for OCP ``i``
+        serves -- e.g. ``[rac.kind for rac in racs]`` before
+        :func:`repro.system.build_mpsoc` ever runs.  Same OU170/OU171
+        diagnostics as :meth:`validate`, without paying for
+        elaboration.
+        """
+        from ..soclint.checks import check_capability_kinds
+        from ..verify.diagnostics import VerifyReport
+
+        report = VerifyReport()
+        check_capability_kinds(list(kinds), report, self.as_dict())
+        report.sort()
+        return report

@@ -35,6 +35,11 @@ from ..core.registers import (
 )
 from ..sim.errors import ConfigurationError, ReproError
 from ..sim.kernel import Component
+from ..verify.diagnostics import (
+    Finding,
+    VerifyReport,
+    has_error_findings,
+)
 from .batch import Batch, compose_batch
 from .capability import CapabilityTable
 from .job import Job, JobResult
@@ -51,6 +56,16 @@ MAX_BACKOFF_CYCLES = 1 << 14
 
 class SchedulerError(ReproError):
     """A job stream could not be completed (unrecoverable trap)."""
+
+
+class RaceHazardError(SchedulerError):
+    """Submission refused: the job may race a pending job (OU2xx).
+
+    Raised by :meth:`ThroughputScheduler.submit` under
+    ``racecheck="submit"`` when :mod:`repro.racelint` reports an
+    error-severity hazard between the new job and the jobs already
+    queued or in flight.
+    """
 
 
 class _OcpSlot:
@@ -154,6 +169,18 @@ class ThroughputScheduler(Component):
     max_retries:
         Re-dispatch attempts after a trapped batch before
         :class:`SchedulerError` is raised.
+    arena_base / arena_stride:
+        Base address and per-OCP stride of the staging arenas;
+        defaults keep every slot's program/input/output regions
+        disjoint.  Overriding them (e.g. to share arenas) is exactly
+        the configuration ``racecheck`` exists to vet.
+    racecheck:
+        Validate-on-submit concurrency checking through
+        :mod:`repro.racelint`.  ``"off"``/``False`` (default)
+        disables it; ``"submit"``/``True`` makes :meth:`submit` raise
+        :class:`RaceHazardError` when the new job may race a pending
+        one; ``"warn"`` only records findings in
+        :attr:`racecheck_report`.
     """
 
     def __init__(
@@ -167,6 +194,9 @@ class ThroughputScheduler(Component):
         max_retries: int = 2,
         backoff_cycles: int = 64,
         validate: bool = True,
+        arena_base: Optional[int] = None,
+        arena_stride: Optional[int] = None,
+        racecheck: "bool | str" = False,
         name: str = "sched",
     ) -> None:
         super().__init__(name)
@@ -201,10 +231,25 @@ class ThroughputScheduler(Component):
         self.backoff_cycles = backoff_cycles
 
         from ..system import RAM_BASE
+        self.arena_base = (RAM_BASE + SCHED_ARENA_BASE_OFFSET
+                           if arena_base is None else arena_base)
+        self.arena_stride = (SCHED_ARENA_STRIDE if arena_stride is None
+                             else arena_stride)
+        mode = {False: "off", True: "submit"}.get(racecheck, racecheck)
+        if mode not in ("off", "submit", "warn"):
+            raise ConfigurationError(
+                "racecheck must be False, True, 'off', 'submit' or "
+                f"'warn', not {racecheck!r}"
+            )
+        self.racecheck = mode
+        self.racecheck_report = VerifyReport()
+        self._racechecker = None
+        self._racechecked: Dict[
+            Tuple[str, str, int, Optional[str]], List[Finding]
+        ] = {}
         self._slots: Dict[int, _OcpSlot] = {}
         for index in self.capability.indices():
-            arena = (RAM_BASE + SCHED_ARENA_BASE_OFFSET
-                     + index * SCHED_ARENA_STRIDE)
+            arena = self.arena_base + index * self.arena_stride
             self._slots[index] = _OcpSlot(
                 index, soc.ocps[index], soc.ocp_base(index), arena
             )
@@ -257,13 +302,64 @@ class ThroughputScheduler(Component):
         """Would :meth:`submit` succeed right now?"""
         return self._route(job) is not None
 
+    # -- static race checking ---------------------------------------------
+    def _race_checker(self):
+        if self._racechecker is None:
+            # local import: racelint imports this module for the arena
+            # geometry constants
+            from ..racelint import RaceChecker, StreamModel
+            self._racechecker = RaceChecker(
+                StreamModel.from_scheduler(self))
+        return self._racechecker
+
+    def _pending_jobs(self) -> List[Job]:
+        """Jobs submitted but not yet completed (queued or in flight)."""
+        pending: List[Job] = []
+        for slot in self._slots.values():
+            if slot.batch is not None:
+                pending.extend(slot.batch.jobs)
+            pending.extend(job for job, _ in slot.queue)
+        return pending
+
+    def racecheck_job(self, job: Job) -> List[Finding]:
+        """Statically check ``job`` against every pending job.
+
+        Returns the new findings (cached per job id, so back-pressure
+        retries do not duplicate them) and accumulates them in
+        :attr:`racecheck_report`.  Usable directly even with
+        ``racecheck="off"``.
+        """
+        key = (job.job_id, job.kind, job.size, job.chain)
+        cached = self._racechecked.get(key)
+        if cached is not None:
+            return cached
+        findings = self._race_checker().check_submit(
+            job, self._pending_jobs())
+        self._racechecked[key] = findings
+        self.racecheck_report.findings.extend(findings)
+        self.racecheck_report.sort()
+        return findings
+
     def submit(self, job: Job) -> bool:
-        """Enqueue a job; ``False`` means back-pressure (try later)."""
+        """Enqueue a job; ``False`` means back-pressure (try later).
+
+        With ``racecheck="submit"``, a job whose static footprint may
+        race a queued or in-flight job raises
+        :class:`RaceHazardError` instead of being enqueued.
+        """
         if job.job_id in self.completed or any(
             queued.job_id == job.job_id
             for slot in self._slots.values() for queued, _ in slot.queue
         ):
             raise ConfigurationError(f"duplicate job id {job.job_id!r}")
+        if self.racecheck != "off":
+            findings = self.racecheck_job(job)
+            if self.racecheck == "submit" and \
+                    has_error_findings(findings):
+                raise RaceHazardError(
+                    f"job {job.job_id} may race pending jobs:\n"
+                    + "\n".join(str(f) for f in findings)
+                )
         open_slots = self._route(job)
         if open_slots is None:
             return False

@@ -291,34 +291,35 @@ def check_irq(model: SystemModel, report: VerifyReport) -> None:
 
 # -- scheduler capability tables (OU17x) ----------------------------------
 
-def check_capabilities(
-    model: SystemModel,
+def check_capability_kinds(
+    kinds: Sequence[str],
     report: VerifyReport,
     capabilities: Mapping[str, Sequence[int]],
 ) -> None:
-    """Validate a kind->OCP routing table against the elaborated SoC.
+    """Validate a kind->OCP routing table against a kind list.
 
-    The scheduler dispatches by kernel kind; a table naming a kind no
-    RAC serves (OU170) or routing to a wrong/absent OCP (OU171) is a
-    dispatch-time failure, so both are errors.
+    ``kinds[i]`` is the kernel kind OCP ``i`` serves; the list can
+    come from an elaborated SoC (:func:`check_capabilities`) or from a
+    *planned* RAC lineup
+    (:meth:`repro.sched.capability.CapabilityTable.validate_plan`), so
+    routing mistakes surface before elaboration.
     """
-    elaborated = [ocp.ocp.rac.kind for ocp in model.ocps]
     for kind, indices in capabilities.items():
         valid = 0
         for index in indices:
             where = f"capability[{kind!r}]"
-            if not 0 <= index < len(elaborated):
+            if not 0 <= index < len(kinds):
                 report.add(
                     "OU171", None,
                     f"routes to OCP {index}, but only "
-                    f"{len(elaborated)} OCP(s) are elaborated",
+                    f"{len(kinds)} OCP(s) are elaborated",
                     where=where,
                 )
-            elif elaborated[index] != kind:
+            elif kinds[index] != kind:
                 report.add(
                     "OU171", None,
                     f"routes to OCP {index}, whose RAC serves "
-                    f"{elaborated[index]!r}",
+                    f"{kinds[index]!r}",
                     where=where,
                 )
             else:
@@ -330,3 +331,19 @@ def check_capabilities(
                 "this kind can never be dispatched",
                 where=f"capability[{kind!r}]",
             )
+
+
+def check_capabilities(
+    model: SystemModel,
+    report: VerifyReport,
+    capabilities: Mapping[str, Sequence[int]],
+) -> None:
+    """Validate a kind->OCP routing table against the elaborated SoC.
+
+    The scheduler dispatches by kernel kind; a table naming a kind no
+    RAC serves (OU170) or routing to a wrong/absent OCP (OU171) is a
+    dispatch-time failure, so both are errors.
+    """
+    check_capability_kinds(
+        [ocp.ocp.rac.kind for ocp in model.ocps], report, capabilities
+    )

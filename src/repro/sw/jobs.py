@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..sched.job import Job, JobResult
 from ..sched.scheduler import ThroughputScheduler
+from ..verify.diagnostics import Finding, VerifyReport
 
 
 class JobClient:
@@ -46,3 +47,26 @@ class JobClient:
     def results(self) -> Dict[str, JobResult]:
         """Results completed so far, keyed by job id."""
         return dict(self.scheduler.completed)
+
+    def precheck(
+        self,
+        kind: str,
+        words: Sequence[int],
+        chain: Optional[str] = None,
+    ) -> List[Finding]:
+        """Dry-run the racelint submit check without submitting.
+
+        Builds the job the next :meth:`submit` call would build (same
+        id, which stays unallocated) and returns the concurrency
+        hazards :mod:`repro.racelint` would flag against the jobs
+        currently pending -- regardless of the scheduler's
+        ``racecheck`` mode.
+        """
+        job = Job(f"job{self._serial + 1}", kind, list(words),
+                  chain=chain)
+        return self.scheduler.racecheck_job(job)
+
+    @property
+    def racecheck_report(self) -> VerifyReport:
+        """The scheduler's accumulated OU2xx findings."""
+        return self.scheduler.racecheck_report

@@ -9,6 +9,9 @@ Public surface:
 * :func:`~repro.verify.contracts.verify_on_soc` /
   :func:`~repro.verify.contracts.bank_windows_from_map` -- cross-layer
   contract checks against a concrete system,
+* :func:`~repro.verify.footprint.program_footprint` -- per-bank
+  read/write footprint extraction over the interval interpreter,
+  consumed by the :mod:`repro.racelint` concurrency analyzer,
 * :func:`~repro.verify.cfg.build_cfg` -- the CFG builder, exported for
   tests and tooling.
 """
@@ -23,19 +26,23 @@ from .diagnostics import (
     VerifyReport,
 )
 from .engine import DEFAULT_STEP_BUDGET, verify_program
+from .footprint import ByteRange, ProgramFootprint, program_footprint
 
 __all__ = [
     "CATALOG",
     "CFG",
     "BasicBlock",
+    "ByteRange",
     "DEFAULT_STEP_BUDGET",
     "Finding",
     "LoopRegion",
+    "ProgramFootprint",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
     "VerifyReport",
     "bank_windows_from_map",
     "build_cfg",
+    "program_footprint",
     "verify_on_soc",
     "verify_program",
 ]

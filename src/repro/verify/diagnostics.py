@@ -21,7 +21,12 @@ Code ranges, by theme:
   * ``OU13x`` -- FIFO fabric sizing vs RAC port contracts,
   * ``OU14x`` -- timing closure,
   * ``OU15x`` -- coherence (cache snooping) hazards,
-  * ``OU16x`` -- interrupt routing.
+  * ``OU16x`` -- interrupt routing,
+  * ``OU17x`` -- scheduler capability tables;
+
+* ``OU2xx`` -- cross-OCP concurrency hazards in scheduled job
+  streams, emitted by :mod:`repro.racelint` (may-happen-in-parallel
+  footprint overlaps, DMA aliasing, batch-widening effects).
 """
 
 from __future__ import annotations
@@ -297,6 +302,45 @@ _ENTRIES: Sequence[CatalogEntry] = (
         "that is out of range or whose elaborated RAC is of a "
         "different kind: dispatch would run the wrong accelerator or "
         "crash.",
+    ),
+    # -- stream level: cross-OCP concurrency hazards ----------------------
+    CatalogEntry(
+        "OU200", SEVERITY_ERROR, "mhp-write-write",
+        "Two jobs that may be resident on different OCPs at the same "
+        "time write overlapping byte ranges (output arenas, staged "
+        "program/input regions or register windows): the last writer "
+        "wins and the harvested results depend on dispatch timing.",
+    ),
+    CatalogEntry(
+        "OU201", SEVERITY_ERROR, "mhp-read-write",
+        "A job may read bytes that a concurrently resident job (or "
+        "its dispatch-time staging) writes: the value observed "
+        "depends on dispatch timing.",
+    ),
+    CatalogEntry(
+        "OU202", SEVERITY_ERROR, "dma-footprint-alias",
+        "An armed DMA transfer window aliases a scheduled job's "
+        "memory footprint: the DMA engine and the coprocessor race "
+        "on the same bytes through the shared memory.",
+    ),
+    CatalogEntry(
+        "OU203", SEVERITY_ERROR, "footprint-unbounded",
+        "The interval interpreter could not bound a job program's "
+        "memory footprint (unstructured control flow, or a transfer "
+        "through a bank the scheduler does not configure): the race "
+        "analysis refuses to certify the stream.",
+    ),
+    CatalogEntry(
+        "OU204", SEVERITY_ERROR, "arena-unmapped",
+        "A scheduler arena byte range used by a job falls outside "
+        "every RAM region of the memory map: staging or harvest "
+        "faults at dispatch time.",
+    ),
+    CatalogEntry(
+        "OU205", SEVERITY_WARNING, "batch-widened-footprint",
+        "A hazard only arises under batch concatenation: batching "
+        "slides jobs to cumulative arena offsets, silently widening "
+        "their read/write sets beyond the solo extent.",
     ),
 )
 

@@ -1,0 +1,116 @@
+"""Static memory-footprint extraction for Ouessant microcode.
+
+The interval abstract interpreter (:mod:`repro.verify.absint`) already
+computes, at every reachable instruction, a sound interval for the OFR
+offset register.  Replaying a program through it with a recording
+callback therefore yields, per bank, the exact *word-offset hull* the
+program's transfers can touch -- including indexed (``mvtcx``/
+``mvfcx``) accesses whose effective offsets depend on loop-carried
+OFR state.
+
+:func:`program_footprint` returns those hulls split by direction:
+
+* ``reads``  -- banks the program moves *from* memory (``mvtc(x)``:
+  memory is read into an input FIFO);
+* ``writes`` -- banks the program moves *to* memory (``mvfc(x)``:
+  an output FIFO is drained into memory).
+
+Consumers (the :mod:`repro.racelint` concurrency analyzer) resolve
+the hulls against concrete bank base addresses to obtain absolute
+:class:`ByteRange` footprints and intersect them across jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..core.isa import (
+    FROM_COPROCESSOR_OPS,
+    INDEXED_OPS,
+    OuInstruction,
+    TRANSFER_OPS,
+)
+from .absint import Analyzer
+from .cfg import build_cfg
+from .domain import AbsState, Interval
+
+
+@dataclass(frozen=True)
+class ByteRange:
+    """A half-open absolute byte range ``[lo, hi)`` with a label."""
+
+    lo: int
+    hi: int
+    label: str = ""
+
+    def overlaps(self, other: "ByteRange") -> bool:
+        return self.lo < other.hi and other.lo < self.hi
+
+    def contains(self, other: "ByteRange") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def __str__(self) -> str:
+        span = f"[{self.lo:#010x}, {self.hi:#010x})"
+        return f"{span} ({self.label})" if self.label else span
+
+
+@dataclass
+class ProgramFootprint:
+    """Per-bank word-offset hulls of a program's memory transfers.
+
+    ``reads[bank]`` / ``writes[bank]`` are *inclusive* interval hulls
+    of the word offsets the program can access on that bank.
+    ``bounded`` is ``False`` when the program's control flow is not
+    structured (the analyzer cannot replay it) or an OFR hull is
+    infinite; an unbounded footprint must be treated as
+    "may touch anything".
+    """
+
+    reads: Dict[int, Interval] = field(default_factory=dict)
+    writes: Dict[int, Interval] = field(default_factory=dict)
+    bounded: bool = True
+
+    def banks(self) -> List[int]:
+        return sorted(set(self.reads) | set(self.writes))
+
+
+def program_footprint(
+    program: Sequence[OuInstruction],
+) -> ProgramFootprint:
+    """Extract the per-bank read/write footprint of ``program``.
+
+    Runs the interval abstract interpreter over the program's CFG and
+    records, for every reachable transfer instruction, the effective
+    word-offset interval ``offset (+ OFR) .. + count - 1``.  Returns
+    an unbounded footprint (``bounded=False``, empty hulls) when the
+    CFG is unstructured -- the caller must refuse to certify such a
+    program rather than assume disjointness.
+    """
+    cfg = build_cfg(list(program))
+    if not cfg.structured or cfg.acyclic_order() is None:
+        return ProgramFootprint(bounded=False)
+
+    reads: Dict[int, Interval] = {}
+    writes: Dict[int, Interval] = {}
+
+    def record(table: Dict[int, Interval], bank: int,
+               span: Interval) -> None:
+        prev = table.get(bank)
+        table[bank] = span if prev is None else prev.join(span)
+
+    def check(index: int, instr: OuInstruction,
+              state: AbsState) -> None:
+        if instr.op not in TRANSFER_OPS:
+            return
+        span = Interval.point(instr.offset)
+        if instr.op in INDEXED_OPS:
+            span = span + state.ofr
+        span = Interval(span.lo, span.hi + instr.count - 1)
+        table = (writes if instr.op in FROM_COPROCESSOR_OPS else reads)
+        record(table, instr.bank, span)
+
+    Analyzer(cfg).run(check)
+    hulls = list(reads.values()) + list(writes.values())
+    bounded = all(hull.bounded for hull in hulls)
+    return ProgramFootprint(reads=reads, writes=writes, bounded=bounded)

@@ -4,8 +4,8 @@ Three invariants the issue tracker made a release gate:
 
 * no duplicate codes in the catalog;
 * every catalog entry is documented in docs/ANALYSIS.md;
-* every system-level (OU1xx) code is reachable: at least one test in
-  the tree asserts on it.
+* every system-level (OU1xx) and concurrency (OU2xx) code is
+  reachable: at least one test in the tree asserts on it.
 """
 
 import pathlib
@@ -71,7 +71,7 @@ def test_documented_severities_match_catalog():
         )
 
 
-def test_every_ou1xx_code_reachable_by_a_test():
+def test_every_system_level_code_reachable_by_a_test():
     corpus = "\n".join(
         path.read_text()
         for path in TESTS_DIR.glob("test_*.py")
@@ -80,8 +80,9 @@ def test_every_ou1xx_code_reachable_by_a_test():
     unreachable = [
         entry.code
         for entry in _ENTRIES
-        if entry.code.startswith("OU1") and entry.code not in corpus
+        if entry.code.startswith(("OU1", "OU2"))
+        and entry.code not in corpus
     ]
     assert not unreachable, (
-        f"OU1xx codes no test asserts on: {unreachable}"
+        f"OU1xx/OU2xx codes no test asserts on: {unreachable}"
     )

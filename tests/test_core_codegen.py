@@ -187,3 +187,48 @@ def test_estimate_reports_breakdown():
     # collection (512 words at 1/cycle) + the 2485-cycle core latency
     assert estimate.compute_exposed == 512 + 2485
     assert "cycles" in str(estimate)
+
+
+# ---------------------------------------------------------------------------
+# batch concatenation: verifier bounds gate
+# ---------------------------------------------------------------------------
+
+def _terminated(instructions):
+    return OuProgram.from_instructions(
+        list(instructions) + [OuInstruction(OuOp.EOP)]
+    )
+
+
+def test_concat_accepts_bounded_looped_constituents():
+    from repro.core.codegen import concat_programs
+
+    batched = concat_programs(
+        [figure4_looped_program(64), figure4_looped_program(64)]
+    )
+    # both constituents' loop nests survive (an in/out loop each),
+    # one terminator for the whole batch
+    assert batched.instructions[-1].op is OuOp.EOP
+    assert sum(
+        1 for i in batched.instructions if i.op is OuOp.LOOP
+    ) == 4
+
+
+def test_concat_rejects_unboundable_constituent_loudly():
+    from repro.core.codegen import concat_programs
+
+    runaway = _terminated([
+        OuInstruction(OuOp.MVTC, bank=1, offset=0, count=4),
+        OuInstruction(OuOp.JMP, imm=0),
+    ])
+    with pytest.raises(ValueError, match="program 1"):
+        concat_programs([figure4_looped_program(64), runaway])
+
+
+def test_concat_bounds_gate_names_the_job():
+    from repro.core.codegen import concat_programs
+
+    runaway = _terminated([OuInstruction(OuOp.JMP, imm=0)])
+    with pytest.raises(ValueError, match="job alpha"):
+        concat_programs(
+            [runaway], names=["job alpha"]
+        )

@@ -1,0 +1,181 @@
+"""Soundness gate for the racelint concurrency analyzer.
+
+Three directions, mirroring the verifier's differential gates:
+
+* **racy**: 42 seeded streams on hazardous arena geometries must be
+  flagged by racelint (error-severity OU2xx), AND must *actually*
+  diverge from the sequential reference under at least one
+  interleaving -- permuted queue policies and OCP counts; a scheduled
+  run that traps unrecoverably also counts as divergence (the race is
+  real either way);
+* **clean**: ~100 seeded streams on the default disjoint geometry must
+  be reported clean AND run bit-exact against the reference;
+* **no false positives**: every stream of the existing scheduler
+  differential suite (`tests/test_sched_differential.py`) must come
+  back finding-free.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.racelint import check_stream
+from repro.rac.scale import PassthroughRac
+from repro.sched import Job, ThroughputScheduler, run_sequential_reference
+from repro.sim.errors import ReproError
+from repro.system import build_mpsoc
+from repro.verify.diagnostics import has_error_findings
+
+from tests.test_sched_differential import (
+    CASES as SCHED_CASES,
+    _build_soc,
+    _factories,
+    _stream,
+)
+
+PT_BLOCK = 8
+RACY_SEED_BASE = 50240
+CLEAN_SEED_BASE = 60240
+
+#: hazardous arena geometries: (mode, arena_stride, batch_jobs)
+#: - "shared":      every slot uses the same arenas
+#: - "prog-in":     slot N+1's program region is slot N's input region
+#: - "tight-batch": solo footprints disjoint, batching overlaps them
+RACY_MODES = (
+    ("shared", 0x0, 1),
+    ("prog-in", 0x1_0000, 1),
+    ("tight-batch", 0x40, 2),
+)
+
+RACY_CASES = [
+    (RACY_SEED_BASE + offset, mode)
+    for offset in range(14)
+    for mode in RACY_MODES
+]
+assert len(RACY_CASES) >= 40
+
+
+def _pt_racs(n: int) -> List[PassthroughRac]:
+    return [PassthroughRac(name=f"pt{i}", block_size=PT_BLOCK)
+            for i in range(n)]
+
+
+def _racy_stream(seed: int, mode: str, n_jobs: int = 6) -> List[Job]:
+    rng = random.Random(seed)
+    if mode == "tight-batch":
+        # alternate sizes so a two-job batch outgrows the tight stride
+        sizes = [16 if i % 2 == 0 else 8 for i in range(n_jobs)]
+    else:
+        sizes = [PT_BLOCK * rng.randrange(1, 5) for _ in range(n_jobs)]
+    return [
+        Job(f"r{seed}-{i}", "passthrough",
+            [rng.getrandbits(32) for _ in range(size)])
+        for i, size in enumerate(sizes)
+    ]
+
+
+def _run_hazardous(
+    jobs: List[Job], n_ocps: int, policy: str, stride: int,
+    batch_jobs: int,
+) -> Tuple[bool, str]:
+    """Run a stream on a hazardous geometry; (diverged, how)."""
+    soc = build_mpsoc(_pt_racs(n_ocps))
+    sched = ThroughputScheduler(
+        soc, policy=policy, batch_jobs=batch_jobs, arena_stride=stride,
+    )
+    try:
+        results = sched.run_stream(jobs, max_cycles=300_000)
+    except ReproError as exc:
+        return True, f"scheduled run failed: {type(exc).__name__}"
+    scheduled = {r.job.job_id: r.outputs for r in results}
+    reference = run_sequential_reference(
+        jobs, {"passthrough": lambda: PassthroughRac(block_size=PT_BLOCK)},
+    )
+    if scheduled != reference:
+        return True, "output mismatch"
+    return False, "bit-exact"
+
+
+@pytest.mark.parametrize("seed,mode_spec", RACY_CASES)
+def test_racy_stream_is_flagged_and_actually_diverges(seed, mode_spec):
+    mode, stride, batch_jobs = mode_spec
+    jobs = _racy_stream(seed, mode)
+
+    # direction 1: racelint must flag the stream
+    report = check_stream(
+        jobs, racs=_pt_racs(2), arena_stride=stride,
+        batch_jobs=batch_jobs,
+    )
+    assert has_error_findings(report.findings), (
+        f"racelint missed the {mode} hazard: {report.render()}"
+    )
+    if mode == "tight-batch":
+        # ... and must attribute it to batch concatenation
+        assert any(f.code == "OU205" for f in report.findings)
+
+    # direction 2: the hazard is real -- some interleaving diverges
+    attempts = []
+    for policy, n_ocps in (
+        ("round-robin", 2), ("shortest-queue", 2), ("round-robin", 4),
+    ):
+        diverged, how = _run_hazardous(
+            jobs, n_ocps, policy, stride, batch_jobs
+        )
+        attempts.append(f"{policy}/{n_ocps} ocps: {how}")
+        if diverged:
+            return
+    pytest.fail(
+        f"seed {seed} mode {mode}: flagged racy but every interleaving "
+        f"stayed bit-exact ({'; '.join(attempts)})"
+    )
+
+
+CLEAN_CONFIGS = (
+    (2, "round-robin", 1),
+    (2, "shortest-queue", 3),
+    (4, "round-robin", 3),
+    (4, "shortest-queue", 1),
+    (8, "round-robin", 2),
+    (2, "shortest-queue", 2),
+)
+
+CLEAN_CASES = [
+    (CLEAN_SEED_BASE + offset, config)
+    for offset in range(16)
+    for config in CLEAN_CONFIGS
+]
+assert len(CLEAN_CASES) >= 96
+
+
+@pytest.mark.parametrize("seed,config", CLEAN_CASES)
+def test_clean_stream_is_reported_clean_and_runs_bit_exact(seed, config):
+    n_ocps, policy, batch_jobs = config
+    jobs = _stream(seed, n_ocps, n_jobs=6)
+
+    soc = _build_soc(n_ocps, seed)
+    sched = ThroughputScheduler(
+        soc, policy=policy, batch_jobs=batch_jobs, racecheck="submit",
+    )
+    # racecheck="submit" doubles as the static gate: any finding on
+    # this default geometry would abort the submission loop
+    results = sched.run_stream(jobs)
+    assert sched.racecheck_report.clean, sched.racecheck_report.render()
+
+    scheduled = {r.job.job_id: r.outputs for r in results}
+    reference = run_sequential_reference(jobs, _factories(n_ocps, seed))
+    assert scheduled == reference
+
+
+@pytest.mark.parametrize("seed,n_ocps", SCHED_CASES)
+def test_no_false_positives_on_existing_differential_streams(seed, n_ocps):
+    """The whole scheduled differential corpus must stay finding-free."""
+    jobs = _stream(seed, n_ocps)
+    batch_jobs = 4 if seed % 2 else 1  # same derivation as the suite
+    racs = [ocp.rac for ocp in _build_soc(n_ocps, seed).ocps]
+    report = check_stream(jobs, racs=racs, batch_jobs=batch_jobs)
+    assert report.clean, (
+        f"false positive on seed {seed}/{n_ocps} ocps: {report.render()}"
+    )
