@@ -8,7 +8,8 @@ field:
 * top level: ``bench == "simulator"`` plus a ``workloads`` list whose
   rows carry the :class:`repro.bench.BenchResult` fields (and whose
   attribution, when present, satisfies transfer+compute+control ==
-  total);
+  total, and whose perfbound check, when present, is sound: measured
+  cycles inside the statically predicted ``[lo, hi]``);
 * the optional ``mpsoc`` section: sweep parameters plus a scaling
   curve of per-OCP-count points, strictly increasing in OCP count,
   with the smallest point pinned at ``speedup_vs_1 == 1.0``;
@@ -28,7 +29,11 @@ import sys
 
 WORKLOAD_FIELDS = (
     "workload", "cycles", "naive_seconds", "fast_seconds", "skip_ratio",
-    "attribution", "speedup", "naive_cycles_per_sec", "fast_cycles_per_sec",
+    "attribution", "perfbound", "speedup", "naive_cycles_per_sec",
+    "fast_cycles_per_sec",
+)
+PERFBOUND_FIELDS = (
+    "predicted_lo", "predicted_hi", "measured", "tightness", "sound",
 )
 MPSOC_FIELDS = (
     "workload", "jobs", "job_words", "compute_latency", "batch_jobs",
@@ -83,6 +88,30 @@ def check_workload(row: object, label: str) -> list:
             problems.append(f"{label}: attribution is malformed")
     elif attribution is not None:
         problems.append(f"{label}: attribution is neither null nor object")
+    perfbound = row.get("perfbound")
+    if perfbound is not None and isinstance(perfbound, dict):
+        problems.extend(
+            _check_fields(perfbound, PERFBOUND_FIELDS,
+                          f"{label}.perfbound")
+        )
+        lo = perfbound.get("predicted_lo")
+        hi = perfbound.get("predicted_hi")
+        measured = perfbound.get("measured")
+        if perfbound.get("sound") is not True:
+            problems.append(
+                f"{label}: perfbound check is not sound "
+                f"(measured cycles escaped the static bound)"
+            )
+        if _is_number(lo) and _is_number(measured) and measured < lo:
+            problems.append(
+                f"{label}: measured {measured} under predicted_lo {lo}"
+            )
+        if _is_number(hi) and _is_number(measured) and measured > hi:
+            problems.append(
+                f"{label}: measured {measured} over predicted_hi {hi}"
+            )
+    elif perfbound is not None:
+        problems.append(f"{label}: perfbound is neither null nor object")
     return problems
 
 

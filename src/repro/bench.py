@@ -17,7 +17,11 @@ fraction of cycles the fast path skipped.
 Each ``BenchResult`` also carries the run's cycle attribution
 (transfer / compute / control, from ``repro.obs``); naive and fast
 runs must agree on it exactly, extending the equivalence check from
-"same final cycle" to "same cycle-by-cycle story".
+"same final cycle" to "same cycle-by-cycle story".  Workloads that run
+a coprocessor program additionally carry the ``repro.perfbound``
+static cost-bound check: the measured cycles must land inside the
+predicted ``[lo, hi]`` interval (the bench *fails* on a violation --
+it doubles as the cost model's soundness gate on real workloads).
 
 Entry points:
 
@@ -52,9 +56,13 @@ PROG = RAM_BASE + 0x1000
 IN = RAM_BASE + 0x2000
 OUT = RAM_BASE + 0x3000
 
-#: (simulated cycles, skip ratio, attribution dict or None) of one run
-#: in one kernel mode
-WorkloadFn = Callable[[bool], Tuple[int, float, Optional[Dict[str, object]]]]
+#: (simulated cycles, skip ratio, attribution dict or None, perfbound
+#: check dict or None) of one run in one kernel mode
+WorkloadFn = Callable[
+    [bool],
+    Tuple[int, float, Optional[Dict[str, object]],
+          Optional[Dict[str, object]]],
+]
 
 
 @dataclass
@@ -69,6 +77,9 @@ class BenchResult:
     #: cycle attribution of the run (``AttributionReport.as_dict``),
     #: ``None`` for workloads that never start a coprocessor
     attribution: Optional[Dict[str, object]] = None
+    #: static cost-bound check (``repro.perfbound`` predicted interval
+    #: vs the measured total), ``None`` when no program ran
+    perfbound: Optional[Dict[str, object]] = None
 
     @property
     def speedup(self) -> float:
@@ -119,10 +130,21 @@ def _run_ocp(
     soc.run_until(lambda: ocp.done, max_cycles=max_cycles)
     if soc.read_ram(OUT, block) != list(range(block)):
         raise SimulationError("bench workload produced wrong data")
-    from .obs import attribute_run
+    from .obs import attribute_run, compare_attribution
+    from .perfbound import bound_program
 
-    attribution = attribute_run(soc).as_dict()
-    return soc.sim.cycle, soc.sim.profile().skip_ratio, attribution
+    report = attribute_run(soc)
+    bound = bound_program(list(program.instructions), ocp.rac)
+    check = compare_attribution(report, bound)
+    perfbound = {
+        "predicted_lo": int(bound.total.lo),
+        "predicted_hi": (int(bound.total.hi) if bound.bounded else None),
+        "measured": report.total_cycles,
+        "tightness": bound.tightness(),
+        "sound": check.sound,
+    }
+    return (soc.sim.cycle, soc.sim.profile().skip_ratio,
+            report.as_dict(), perfbound)
 
 
 def _stall_heavy(idle_skip: bool) -> Tuple[int, float]:
@@ -155,8 +177,8 @@ def _idle_timeout(idle_skip: bool) -> Tuple[int, float]:
         pass
     else:  # pragma: no cover - the predicate above is constant
         raise SimulationError("bench timeout unexpectedly satisfied")
-    # the coprocessor never starts, so there is no run to attribute
-    return soc.sim.cycle, soc.sim.profile().skip_ratio, None
+    # the coprocessor never starts: nothing to attribute or to bound
+    return soc.sim.cycle, soc.sim.profile().skip_ratio, None, None
 
 
 WORKLOADS: Dict[str, WorkloadFn] = {
@@ -168,8 +190,9 @@ WORKLOADS: Dict[str, WorkloadFn] = {
 
 def _measure(fn: WorkloadFn, idle_skip: bool):
     begin = time.perf_counter()
-    cycles, skip_ratio, attribution = fn(idle_skip)
-    return cycles, skip_ratio, attribution, time.perf_counter() - begin
+    cycles, skip_ratio, attribution, perfbound = fn(idle_skip)
+    return (cycles, skip_ratio, attribution, perfbound,
+            time.perf_counter() - begin)
 
 
 def run_benchmarks(
@@ -179,10 +202,10 @@ def run_benchmarks(
     results: List[BenchResult] = []
     for name in names or list(WORKLOADS):
         fn = WORKLOADS[name]
-        naive_cycles, naive_ratio, naive_att, naive_s = _measure(
+        naive_cycles, naive_ratio, naive_att, naive_pb, naive_s = _measure(
             fn, idle_skip=False
         )
-        fast_cycles, fast_ratio, fast_att, fast_s = _measure(
+        fast_cycles, fast_ratio, fast_att, fast_pb, fast_s = _measure(
             fn, idle_skip=True
         )
         if naive_cycles != fast_cycles:
@@ -202,6 +225,17 @@ def run_benchmarks(
                 f"cycle attribution -- kernel equivalence violated "
                 f"(naive={naive_att} fast={fast_att})"
             )
+        if naive_pb != fast_pb:
+            raise SimulationError(
+                f"bench {name!r}: naive and idle-skip runs disagree on "
+                f"the cost-bound check (naive={naive_pb} fast={fast_pb})"
+            )
+        if fast_pb is not None and not fast_pb["sound"]:
+            raise SimulationError(
+                f"bench {name!r}: measured attribution escaped the "
+                f"static cost bound ({fast_pb}) -- the cost model or "
+                f"the simulator timing drifted"
+            )
         results.append(BenchResult(
             workload=name,
             cycles=fast_cycles,
@@ -209,21 +243,25 @@ def run_benchmarks(
             fast_seconds=fast_s,
             skip_ratio=fast_ratio,
             attribution=fast_att,
+            perfbound=fast_pb,
         ))
     return results
 
 
 def render_results(results: List[BenchResult]) -> str:
     header = (
-        f"{'workload':<14} {'cycles':>9} {'naive s':>9} {'fast s':>9} "
-        f"{'speedup':>8} {'skip %':>7}"
+        f"{'workload':<14} {'cycles':>9} {'wcet':>9} {'naive s':>9} "
+        f"{'fast s':>9} {'speedup':>8} {'skip %':>7}"
     )
     lines = [header, "-" * len(header)]
     for r in results:
+        wcet = "-"
+        if r.perfbound is not None and r.perfbound["predicted_hi"]:
+            wcet = str(r.perfbound["predicted_hi"])
         lines.append(
-            f"{r.workload:<14} {r.cycles:>9} {r.naive_seconds:>9.3f} "
-            f"{r.fast_seconds:>9.3f} {r.speedup:>7.1f}x "
-            f"{100 * r.skip_ratio:>6.1f}"
+            f"{r.workload:<14} {r.cycles:>9} {wcet:>9} "
+            f"{r.naive_seconds:>9.3f} {r.fast_seconds:>9.3f} "
+            f"{r.speedup:>7.1f}x {100 * r.skip_ratio:>6.1f}"
         )
     return "\n".join(lines)
 

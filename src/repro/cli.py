@@ -11,6 +11,10 @@ original project shipped alongside its RTL:
   contracts (OU0xx)
 * ``racecheck`` -- cross-OCP concurrency-hazard analysis of a planned
   job stream (OU2xx)
+* ``perfbound`` -- static cycle-cost / WCET bound for a microcode
+  program (OU3xx), with optional SLA budget check
+* ``diag``      -- print diagnostic-catalog entries (code, title,
+  severity, doc anchor)
 * ``estimate``  -- FPGA resource report for an OCP + RAC
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
@@ -24,7 +28,7 @@ pipelines; ``main`` returns a process exit code and is directly
 callable from tests.
 
 Exit codes for the analysis commands (``lint``, ``verify``,
-``racecheck``) are a documented contract for scripting:
+``racecheck``, ``perfbound``) are a documented contract for scripting:
 
 * ``0`` -- the program is clean (no error-severity findings),
 * ``1`` -- at least one error finding,
@@ -177,12 +181,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     firmware = None
     if args.firmware:
         firmware = _load_program(args.firmware)
+    if args.budget_cycles is not None and firmware is None:
+        raise ReproError(
+            "--budget-cycles needs --firmware: the throughput check "
+            "bounds a concrete program"
+        )
     report = lint_soc(
         soc,
         banks=_parse_bank_table(args.bank),
         firmware=firmware,
         ocp_index=args.ocp,
         technology=args.device,
+        budget_cycles=args.budget_cycles,
         suppress=args.suppress or (),
     )
     print(report.render_json() if args.json else report.render())
@@ -277,6 +287,86 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
     )
     print(report.render_json() if args.json else report.render())
     return 0 if report.clean else 1
+
+
+def _parse_latency(spec: str):
+    """Parse ``--mem-latency LO[:HI]`` into a latency contract."""
+    from .verify.domain import Interval
+
+    lo_text, sep, hi_text = spec.partition(":")
+    try:
+        lo = int(lo_text, 0)
+        hi = int(hi_text, 0) if sep else lo
+    except ValueError:
+        raise ReproError(
+            f"bad --mem-latency {spec!r} (expected LO or LO:HI cycles)"
+        ) from None
+    if lo < 0 or hi < lo:
+        raise ReproError(
+            f"bad --mem-latency {spec!r}: need 0 <= LO <= HI"
+        )
+    return Interval(lo, hi)
+
+
+def _cmd_perfbound(args: argparse.Namespace) -> int:
+    import json
+
+    from .perfbound import CostModel, RacTiming, bound_program
+    from .rac.base import StreamingRAC
+
+    if args.masters < 1:
+        raise ReproError(
+            f"bad --masters {args.masters}: need at least one"
+        )
+    program = _load_program(args.input)
+    rac = _make_rac(args.rac) if args.rac else None
+    timing = RacTiming.of(rac) if isinstance(rac, StreamingRAC) else None
+    model = CostModel(
+        mem_latency=_parse_latency(args.mem_latency),
+        rac=timing,
+        masters=args.masters,
+    )
+    bound = bound_program(
+        program, rac,
+        model=model,
+        sla_cycles=args.sla_cycles,
+        suppress=args.suppress or (),
+    )
+    print(json.dumps(bound.to_json(), indent=2) if args.json
+          else bound.render())
+    return 0 if bound.clean else 1
+
+
+#: diagnostic family -> anchor inside docs/ANALYSIS.md
+_DIAG_ANCHORS = {
+    "OU0": "diagnostics-catalog",
+    "OU1": "system-level-analysis-repro-lint",
+    "OU2": "concurrency-analysis-repro-racecheck-ou2xx",
+    "OU3": "cost-bound-analysis-repro-perfbound-ou3xx",
+}
+
+
+def _cmd_diag(args: argparse.Namespace) -> int:
+    from .verify.diagnostics import CATALOG
+
+    codes = [code.upper() for code in args.codes]
+    unknown = sorted(set(codes) - set(CATALOG))
+    if unknown:
+        raise ReproError(
+            f"unknown diagnostic code(s): {', '.join(unknown)} "
+            "(run 'repro diag' for the full catalog)"
+        )
+    if not codes:
+        for entry in CATALOG.values():
+            print(f"{entry.code}  {entry.severity:<8} {entry.title}")
+        return 0
+    for code in codes:
+        entry = CATALOG[code]
+        anchor = _DIAG_ANCHORS.get(code[:3], "diagnostics-catalog")
+        print(f"{entry.code} [{entry.severity}] {entry.title}")
+        print(f"  {entry.description}")
+        print(f"  docs: docs/ANALYSIS.md#{anchor}")
+    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -521,6 +611,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("artix7", "spartan6"))
     p.add_argument("--with-dma", action="store_true",
                    help="include the DMA peripheral in the system")
+    p.add_argument("--budget-cycles", type=int, default=None,
+                   help="per-run throughput budget: the firmware's "
+                        "static worst case must fit it (OU162/OU163; "
+                        "needs --firmware)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON report")
     p.add_argument("--suppress", nargs="*", metavar="CODE",
@@ -564,6 +658,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--suppress", nargs="*", metavar="CODE",
                    help="diagnostic codes to suppress (e.g. OU205)")
     p.set_defaults(fn=_cmd_racecheck)
+
+    p = sub.add_parser(
+        "perfbound",
+        help="static cycle-cost / WCET bound for a microcode program "
+             "(exit: 0 clean, 1 errors, 2 usage)",
+    )
+    p.add_argument("input", help="source or hex file ('-' for stdin)")
+    p.add_argument("--rac", help="accelerator spec, e.g. dft:256")
+    p.add_argument("--mem-latency", default="1", metavar="LO[:HI]",
+                   help="memory-latency contract in cycles the bound "
+                        "must cover (default: 1)")
+    p.add_argument("--masters", type=int, default=1,
+                   help="bus masters in the target system; >1 emits "
+                        "OU303 (contention not modelled)")
+    p.add_argument("--sla-cycles", type=int, default=None,
+                   help="cycle budget: emit OU304 (error) when the "
+                        "worst case exceeds it")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--suppress", nargs="*", metavar="CODE",
+                   help="diagnostic codes to suppress (e.g. OU301)")
+    p.set_defaults(fn=_cmd_perfbound)
+
+    p = sub.add_parser(
+        "diag",
+        help="print diagnostic-catalog entries (no codes: list all)",
+    )
+    p.add_argument("codes", nargs="*", metavar="CODE",
+                   help="diagnostic codes to describe, e.g. OU300")
+    p.set_defaults(fn=_cmd_diag)
 
     p = sub.add_parser("estimate", help="FPGA resource report")
     p.add_argument("--rac", default="dft:256")

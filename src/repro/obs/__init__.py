@@ -21,7 +21,12 @@ narration, in four steps:
 workloads in :mod:`repro.obs.workloads`.
 """
 
-from .attribution import AttributionReport, attribute_run
+from .attribution import (
+    AttributionReport,
+    PredictionCheck,
+    attribute_run,
+    compare_attribution,
+)
 from .counters import derive_counters
 from .exporters import to_perfetto, to_vcd
 from .sched import OcpSchedStats, ScheduleReport, attribute_schedule
@@ -29,12 +34,14 @@ from .spans import Span, SpanTrace, reconstruct_spans
 
 __all__ = [
     "AttributionReport",
+    "PredictionCheck",
     "OcpSchedStats",
     "ScheduleReport",
     "Span",
     "SpanTrace",
     "attribute_run",
     "attribute_schedule",
+    "compare_attribution",
     "derive_counters",
     "reconstruct_spans",
     "to_perfetto",

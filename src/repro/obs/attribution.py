@@ -147,3 +147,88 @@ def attribute_run(
         fifo_out_high_water=perf.value(PERF_FIFO_OUT_HW),
         breakdown=breakdown,
     )
+
+
+@dataclass(frozen=True)
+class PredictionCheck:
+    """Measured attribution vs a :mod:`repro.perfbound` prediction.
+
+    The soundness gate in one object: every measured bucket (and the
+    total) must land inside the statically predicted ``[lo, hi]``
+    interval.  ``violations`` names the buckets that escaped --
+    non-empty means either the cost model or the simulator timing
+    drifted, which is exactly the regression this check exists to
+    catch.
+    """
+
+    workload: str
+    sound: bool
+    violations: Dict[str, str]
+    #: measured value per bucket name (incl. "total")
+    measured: Dict[str, int]
+    #: predicted (lo, hi) per bucket name; hi is None when unbounded
+    predicted: Dict[str, object]
+    #: total-bound tightness hi/lo (1.0 = exact), None when unbounded
+    tightness: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "sound": self.sound,
+            "violations": dict(self.violations),
+            "measured": dict(self.measured),
+            "predicted": dict(self.predicted),
+            "tightness": self.tightness,
+        }
+
+    def render(self) -> str:
+        status = "sound" if self.sound else "VIOLATED"
+        lines = [f"prediction check [{status}] {self.workload}"]
+        for name, value in self.measured.items():
+            lo, hi = self.predicted[name]  # type: ignore[misc]
+            hi_text = "inf" if hi is None else str(hi)
+            mark = "" if name not in self.violations else "  <-- out"
+            lines.append(
+                f"  {name:9s} measured {value:>8} in "
+                f"[{lo}, {hi_text}]{mark}"
+            )
+        return "\n".join(lines)
+
+
+def compare_attribution(report: AttributionReport, bound) -> PredictionCheck:
+    """Check a measured run against its predicted cost bound.
+
+    ``bound`` is a :class:`repro.perfbound.CostBound`; measured total
+    and per-bucket cycles must fall inside its intervals.
+    """
+    pairs = {
+        "transfer": (report.transfer_cycles, bound.transfer),
+        "compute": (report.compute_cycles, bound.compute),
+        "control": (report.control_cycles, bound.control),
+        "total": (report.total_cycles, bound.total),
+    }
+    measured: Dict[str, int] = {}
+    predicted: Dict[str, object] = {}
+    violations: Dict[str, str] = {}
+    for name, (value, interval) in pairs.items():
+        measured[name] = value
+        hi = None if interval.hi == float("inf") else int(interval.hi)
+        predicted[name] = (int(interval.lo), hi)
+        if value < interval.lo:
+            violations[name] = (
+                f"measured {value} under predicted lower bound "
+                f"{int(interval.lo)}"
+            )
+        elif value > interval.hi:
+            violations[name] = (
+                f"measured {value} over predicted upper bound "
+                f"{int(interval.hi)}"
+            )
+    return PredictionCheck(
+        workload=report.workload,
+        sound=not violations,
+        violations=violations,
+        measured=measured,
+        predicted=predicted,
+        tightness=bound.tightness(),
+    )

@@ -31,6 +31,14 @@ class OcpSchedStats:
     queue_bound: int
     max_wait: int
     mean_wait: float
+    #: jobs currently queued or in flight (0 after a drain)
+    pending_jobs: int = 0
+    #: predicted cycles of the pending jobs (repro.perfbound midpoints)
+    est_pending_cycles: int = 0
+    #: predicted cycles of the jobs this OCP completed -- the *work*
+    #: routed here, so count-based and cost-based policies are
+    #: comparable in one report
+    predicted_done_cycles: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -46,6 +54,9 @@ class OcpSchedStats:
             "queue_bound": self.queue_bound,
             "max_wait": self.max_wait,
             "mean_wait": round(self.mean_wait, 3),
+            "pending_jobs": self.pending_jobs,
+            "est_pending_cycles": self.est_pending_cycles,
+            "predicted_done_cycles": self.predicted_done_cycles,
         }
 
 
@@ -79,14 +90,15 @@ class ScheduleReport:
             f"{self.total_cycles} cycles "
             f"({self.total_batches} batches, {self.total_retries} retries)",
             "  ocp kind          jobs batches util   queue(hw/bound) "
-            "wait(max/mean)",
+            "wait(max/mean) work(pred)",
         ]
         for stats in self.per_ocp:
             lines.append(
                 f"  {stats.index:<3} {stats.kind:<13} {stats.jobs:>4} "
                 f"{stats.batches:>7} {stats.utilization:>5.1%}  "
                 f"{stats.queue_high_water:>2}/{stats.queue_bound:<12} "
-                f"{stats.max_wait}/{stats.mean_wait:.1f}"
+                f"{stats.max_wait}/{stats.mean_wait:.1f} "
+                f"{stats.predicted_done_cycles:>10}"
             )
         return "\n".join(lines)
 
@@ -98,8 +110,19 @@ def attribute_schedule(scheduler) -> ScheduleReport:
     waits: Dict[int, List[int]] = {}
     for result in scheduler.completed.values():
         waits.setdefault(result.ocp_index, []).append(result.wait_cycles)
+    predict = getattr(scheduler, "predicted_job_cycles", None)
+    pending = getattr(scheduler, "pending_cycles", None)
+    done_cycles: Dict[int, int] = {}
+    if predict is not None:
+        slot_by_index = {slot.index: slot for slot in scheduler.slots}
+        for result in scheduler.completed.values():
+            done_cycles[result.ocp_index] = (
+                done_cycles.get(result.ocp_index, 0)
+                + predict(result.job, slot_by_index[result.ocp_index])
+            )
     for slot in scheduler.slots:
         slot_waits = waits.get(slot.index, [])
+        in_flight = len(slot.batch.jobs) if slot.batch else 0
         per_ocp.append(OcpSchedStats(
             index=slot.index,
             name=slot.ocp.name,
@@ -115,6 +138,10 @@ def attribute_schedule(scheduler) -> ScheduleReport:
             max_wait=max(slot_waits, default=0),
             mean_wait=(sum(slot_waits) / len(slot_waits)
                        if slot_waits else 0.0),
+            pending_jobs=len(slot.queue) + in_flight,
+            est_pending_cycles=(pending(slot.index)
+                                if pending is not None else 0),
+            predicted_done_cycles=done_cycles.get(slot.index, 0),
         ))
     return ScheduleReport(
         total_cycles=total_cycles,

@@ -15,8 +15,9 @@ correctness machinery:
   microcode program (single IRQ per batch);
 * :class:`~repro.sched.scheduler.ThroughputScheduler` -- the
   cycle-accurate dispatcher (bounded queues, back-pressure, pluggable
-  round-robin / shortest-queue fairness, IRQ-driven completion,
-  abort-and-retry on traps);
+  round-robin / shortest-queue / cost-aware fairness, IRQ-driven
+  completion, abort-and-retry on traps, perfbound-backed SLA
+  admission);
 * :func:`~repro.sched.reference.run_sequential_reference` -- the
   sequential single-OCP oracle the differential suite compares
   against.
@@ -27,17 +28,20 @@ from .capability import CapabilityTable
 from .job import Job, JobResult
 from .reference import run_sequential_reference
 from .scheduler import (
+    CostAwarePolicy,
     RaceHazardError,
     RoundRobinPolicy,
     SchedulerError,
     SchedulingPolicy,
     ShortestQueuePolicy,
+    SlaRejectionError,
     ThroughputScheduler,
 )
 
 __all__ = [
     "Batch",
     "CapabilityTable",
+    "CostAwarePolicy",
     "Job",
     "JobResult",
     "RaceHazardError",
@@ -45,6 +49,7 @@ __all__ = [
     "SchedulerError",
     "SchedulingPolicy",
     "ShortestQueuePolicy",
+    "SlaRejectionError",
     "ThroughputScheduler",
     "compose_batch",
     "job_program",

@@ -68,6 +68,16 @@ class RaceHazardError(SchedulerError):
     """
 
 
+class SlaRejectionError(SchedulerError):
+    """Submission refused at admission time: the SLA cannot be met.
+
+    Raised by :meth:`ThroughputScheduler.submit` when ``sla_cycles``
+    is configured and, on every eligible OCP, the predicted backlog
+    plus the job's worst-case cost bound (OU304 semantics, from
+    :mod:`repro.perfbound`) exceeds the budget.
+    """
+
+
 class _OcpSlot:
     """Per-OCP dispatch state (queue + in-flight batch FSM)."""
 
@@ -139,9 +149,41 @@ class ShortestQueuePolicy(SchedulingPolicy):
         return min(slots, key=load)
 
 
+class CostAwarePolicy(SchedulingPolicy):
+    """Route by predicted *cycles*, not job count.
+
+    Shortest-queue treats a 16-word scale and a 256-point DFT as equal
+    load; this policy asks :mod:`repro.perfbound` what each pending
+    job will actually cost and sends the new job to the OCP with the
+    least predicted backlog (ties: lowest index).  Routing only --
+    dispatch order and results stay bit-exact vs the sequential
+    reference.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self) -> None:
+        self._scheduler: Optional["ThroughputScheduler"] = None
+
+    def bind(self, scheduler: "ThroughputScheduler") -> None:
+        self._scheduler = scheduler
+
+    def pick(self, job: Job, slots: List[_OcpSlot]) -> _OcpSlot:
+        sched = self._scheduler
+        if sched is None:  # pragma: no cover - bind() runs in __init__
+            raise ConfigurationError("cost-aware policy is unbound")
+
+        def backlog(slot: _OcpSlot) -> Tuple[int, int]:
+            return (sched.pending_cycles(slot.index)
+                    + sched.predicted_job_cycles(job, slot), slot.index)
+
+        return min(slots, key=backlog)
+
+
 _POLICIES = {
     "round-robin": RoundRobinPolicy,
     "shortest-queue": ShortestQueuePolicy,
+    "cost-aware": CostAwarePolicy,
 }
 
 
@@ -181,6 +223,12 @@ class ThroughputScheduler(Component):
         :class:`RaceHazardError` when the new job may race a pending
         one; ``"warn"`` only records findings in
         :attr:`racecheck_report`.
+    sla_cycles:
+        Admission-time WCET budget.  When set, :meth:`submit` raises
+        :class:`SlaRejectionError` for a job whose predicted backlog
+        plus worst-case cost (per :mod:`repro.perfbound`) exceeds the
+        budget on every eligible OCP -- the stream stays schedulable
+        instead of silently running late.
     """
 
     def __init__(
@@ -197,6 +245,7 @@ class ThroughputScheduler(Component):
         arena_base: Optional[int] = None,
         arena_stride: Optional[int] = None,
         racecheck: "bool | str" = False,
+        sla_cycles: Optional[int] = None,
         name: str = "sched",
     ) -> None:
         super().__init__(name)
@@ -224,6 +273,12 @@ class ThroughputScheduler(Component):
                     f"choose from {sorted(_POLICIES)}"
                 ) from None
         self.policy = policy
+        if hasattr(policy, "bind"):
+            policy.bind(self)
+        self.sla_cycles = sla_cycles
+        self._cost_cache: Dict[
+            Tuple[str, int, int], Optional[Tuple[int, int]]
+        ] = {}
         self.queue_bound = queue_bound
         self.batch_jobs = batch_jobs
         self.chunk = chunk
@@ -340,12 +395,100 @@ class ThroughputScheduler(Component):
         self.racecheck_report.sort()
         return findings
 
+    # -- static cost estimation -------------------------------------------
+    def _job_cost_bounds(
+        self, job: Job, slot: _OcpSlot
+    ) -> "Optional[Tuple[int, int]]":
+        """``(mid, hi)`` of the job's predicted cycle cost on ``slot``.
+
+        Bounds the per-job offset program the dispatcher will actually
+        stage (see :func:`repro.sched.batch.job_program`) through
+        :mod:`repro.perfbound`, against the slot RAC's timing contract
+        and the SoC's real bus protocol and memory latency.  ``None``
+        when the cost has no static bound.  Cached per
+        (kind, size, slot).
+        """
+        key = (job.kind, job.size, slot.index)
+        if key in self._cost_cache:
+            return self._cost_cache[key]
+        from ..perfbound import CostModel, RacTiming, bound_program
+        from ..rac.base import StreamingRAC
+        from ..verify.domain import Interval
+        from .batch import job_program
+
+        bounds: Optional[Tuple[int, int]] = None
+        rac = slot.ocp.rac
+        if isinstance(rac, StreamingRAC):
+            controller = slot.ocp.controller
+            model = CostModel(
+                protocol=self._soc.bus.protocol,
+                mem_latency=Interval.point(
+                    getattr(self._soc.memory, "access_latency", 1)),
+                rac=RacTiming.of(rac),
+                ibuf_size=controller.ibuf_size,
+                prefetch=controller.prefetch,
+            )
+            program = job_program(job, 0, 0, chunk=self.chunk)
+            bound = bound_program(
+                list(program.instructions), rac, model=model)
+            if bound.bounded:
+                lo, hi = int(bound.total.lo), int(bound.total.hi)
+                bounds = ((lo + hi) // 2, hi)
+        self._cost_cache[key] = bounds
+        return bounds
+
+    def predicted_job_cycles(self, job: Job, slot: _OcpSlot) -> int:
+        """Midpoint cost estimate, with a size-proportional fallback."""
+        bounds = self._job_cost_bounds(job, slot)
+        if bounds is not None:
+            return bounds[0]
+        # unbounded (no streaming contract): words moved still beats
+        # counting jobs as 1 each
+        return 8 * job.size + 64
+
+    def pending_cycles(self, index: int) -> int:
+        """Predicted cycles of everything queued or in flight on an OCP."""
+        slot = self._slots[index]
+        total = 0
+        if slot.batch is not None:
+            for job in slot.batch.jobs:
+                total += self.predicted_job_cycles(job, slot)
+        for job, _ in slot.queue:
+            total += self.predicted_job_cycles(job, slot)
+        return total
+
+    def _check_sla(self, job: Job, candidates: List[_OcpSlot]) -> None:
+        budget = self.sla_cycles
+        if budget is None:
+            return
+        best: Optional[int] = None
+        for slot in candidates:
+            bounds = self._job_cost_bounds(job, slot)
+            if bounds is None:
+                continue
+            worst = self.pending_cycles(slot.index) + bounds[1]
+            best = worst if best is None else min(best, worst)
+        if best is None:
+            raise SlaRejectionError(
+                f"job {job.job_id} ({job.kind}, {job.size} words) has "
+                f"no bounded cost on any eligible OCP; an SLA of "
+                f"{budget} cycles cannot be guaranteed"
+            )
+        if best > budget:
+            raise SlaRejectionError(
+                f"job {job.job_id}: predicted worst-case completion "
+                f"{best} cycles exceeds the SLA budget {budget} on "
+                "every eligible OCP"
+            )
+
     def submit(self, job: Job) -> bool:
         """Enqueue a job; ``False`` means back-pressure (try later).
 
         With ``racecheck="submit"``, a job whose static footprint may
         race a queued or in-flight job raises
-        :class:`RaceHazardError` instead of being enqueued.
+        :class:`RaceHazardError` instead of being enqueued.  With
+        ``sla_cycles`` set, a job that cannot meet the budget raises
+        :class:`SlaRejectionError`.
         """
         if job.job_id in self.completed or any(
             queued.job_id == job.job_id
@@ -360,6 +503,8 @@ class ThroughputScheduler(Component):
                     f"job {job.job_id} may race pending jobs:\n"
                     + "\n".join(str(f) for f in findings)
                 )
+        if self.sla_cycles is not None:
+            self._check_sla(job, self._feasible(job))
         open_slots = self._route(job)
         if open_slots is None:
             return False

@@ -289,6 +289,78 @@ def check_irq(model: SystemModel, report: VerifyReport) -> None:
             )
 
 
+# -- throughput closure (OU162/OU163) -------------------------------------
+
+#: worst cases consuming more than this share of the budget are marginal
+MARGINAL_BUDGET_FRACTION = 0.90
+
+
+def check_throughput(
+    model: SystemModel,
+    report: VerifyReport,
+    program: Sequence,
+    ocp_index: int,
+    budget_cycles: int,
+) -> None:
+    """Does the firmware's static WCET fit a per-run cycle budget?
+
+    The timing pass (OU14x) closes the *clock*; this closes the
+    *throughput*: the cost analyzer's worst-case cycle count for the
+    firmware, on the RAC actually hosted by the target OCP and over
+    the elaborated bus/memory timing, must fit ``budget_cycles``.
+    """
+    from ..perfbound import CostModel, RacTiming, bound_program
+    from ..rac.base import StreamingRAC
+    from ..verify.domain import Interval
+
+    if budget_cycles < 1:
+        raise ValueError(f"budget_cycles must be >= 1: {budget_cycles}")
+    if not 0 <= ocp_index < len(model.ocps):
+        return
+    ocp_model = model.ocps[ocp_index]
+    ocp = ocp_model.ocp
+    timing = (RacTiming.of(ocp.rac)
+              if isinstance(ocp.rac, StreamingRAC) else None)
+    extra = {}
+    if model.bus_protocol is not None:
+        extra["protocol"] = model.bus_protocol
+    cost_model = CostModel(
+        mem_latency=Interval.point(model.mem_latency),
+        rac=timing,
+        ibuf_size=ocp.controller.ibuf_size,
+        prefetch=ocp.controller.prefetch,
+        **extra,
+    )
+    bound = bound_program(program, ocp.rac, model=cost_model)
+    if not bound.bounded:
+        refusals = ", ".join(sorted(set(bound.report.codes()))) or "?"
+        report.add(
+            "OU162", None,
+            f"the firmware has no static cycle bound ({refusals}); "
+            f"the {budget_cycles}-cycle throughput budget cannot be "
+            "closed",
+            where=ocp_model.name,
+        )
+        return
+    wcet = int(bound.total.hi)
+    if wcet > budget_cycles:
+        report.add(
+            "OU162", None,
+            f"worst-case firmware cost {wcet} cycles exceeds the "
+            f"{budget_cycles}-cycle throughput budget "
+            f"(best case {int(bound.total.lo)})",
+            where=ocp_model.name,
+        )
+    elif wcet > MARGINAL_BUDGET_FRACTION * budget_cycles:
+        report.add(
+            "OU163", None,
+            f"worst-case firmware cost {wcet} cycles consumes over "
+            f"{100 * MARGINAL_BUDGET_FRACTION:.0f}% of the "
+            f"{budget_cycles}-cycle throughput budget",
+            where=ocp_model.name,
+        )
+
+
 # -- scheduler capability tables (OU17x) ----------------------------------
 
 def check_capability_kinds(

@@ -72,6 +72,7 @@ def lint_soc(
     caches: Optional[Sequence] = None,
     capabilities: Optional[Mapping[str, Sequence[int]]] = None,
     step_budget: Optional[int] = DEFAULT_STEP_BUDGET,
+    budget_cycles: Optional[int] = None,
     suppress: Iterable[str] = (),
 ) -> VerifyReport:
     """Statically analyze an elaborated system.
@@ -99,6 +100,10 @@ def lint_soc(
     capabilities:
         Scheduler capability table (kernel kind -> OCP indices) to
         validate against the elaborated coprocessors (OU17x).
+    budget_cycles:
+        Per-run throughput budget: when given alongside ``firmware``,
+        the cost analyzer's worst case for the firmware must fit it
+        (OU162 error / OU163 marginal).
     suppress:
         Diagnostic codes to move aside (never silently dropped).
     """
@@ -142,6 +147,10 @@ def lint_soc(
         )
         report.findings.extend(micro.findings)
         report.max_steps = micro.max_steps
+        if budget_cycles is not None:
+            checks.check_throughput(
+                model, report, program, ocp_index, budget_cycles
+            )
 
     report.sort()
     report.apply_suppressions(suppress)

@@ -97,6 +97,10 @@ class SystemModel:
     #: names of masters that write memory behind the CPU's back
     writeback_masters: List[str] = field(default_factory=list)
     clock_mhz: float = 50.0
+    #: bus burst protocol, for cost-bound checks (None when no bus)
+    bus_protocol: Optional[object] = None
+    #: main-memory access latency in cycles (1 when unknown)
+    mem_latency: int = 1
 
     def region_of(self, slave: BusSlave) -> Optional[Region]:
         for region in self.regions:
@@ -148,6 +152,10 @@ def extract_model(
     if bus is not None:
         model.memmap = bus.memmap
         model.regions = bus.memmap.regions
+        model.bus_protocol = getattr(bus, "protocol", None)
+    memory = getattr(soc, "memory", None)
+    if memory is not None:
+        model.mem_latency = getattr(memory, "access_latency", 1)
     model.clock_mhz = (
         clock_mhz if clock_mhz is not None
         else getattr(soc, "clock_mhz", 50.0)

@@ -24,7 +24,7 @@ stays sound (it can only over-approximate, i.e. flag more).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..core.isa import (
     FROM_COPROCESSOR_OPS,
@@ -43,6 +43,13 @@ CHECK_WORK_LIMIT = 4096
 
 #: check callback: (instruction index, instruction, state *before* it)
 CheckFn = Callable[[int, OuInstruction, AbsState], None]
+
+#: cost model: (instruction index, instruction) -> per-bucket cycle
+#: intervals charged when the instruction executes.  The mapping must
+#: depend only on the instruction (constant per site) so that loop
+#: acceleration stays exact: cost counters are then additive, exactly
+#: like the push/drain volumes.
+CostModelFn = Callable[[int, OuInstruction], Mapping[str, Interval]]
 
 
 def transfer_instruction(instr: OuInstruction, state: AbsState) -> None:
@@ -69,6 +76,9 @@ def _state_delta(first: AbsState, second: AbsState) -> AbsState:
     for key in set(first.drained) | set(second.drained):
         delta.drained[key] = first.get_drained(key).delta_to(
             second.get_drained(key))
+    for ckey in set(first.costs) | set(second.costs):
+        delta.costs[ckey] = first.get_cost(ckey).delta_to(
+            second.get_cost(ckey))
     return delta
 
 
@@ -87,6 +97,9 @@ def _extrapolate(base: AbsState, delta: AbsState, times: int) -> AbsState:
     for key in set(base.drained) | set(delta.drained):
         out.drained[key] = extend(base.get_drained(key),
                                   delta.drained.get(key, Interval.point(0)))
+    for ckey in set(base.costs) | set(delta.costs):
+        out.costs[ckey] = extend(base.get_cost(ckey),
+                                 delta.costs.get(ckey, Interval.point(0)))
     return out
 
 
@@ -102,10 +115,12 @@ def _join_all(states: List[AbsState]) -> Optional[AbsState]:
 class Analyzer:
     """Single-pass interval analysis over a structured CFG."""
 
-    def __init__(self, cfg: CFG) -> None:
+    def __init__(self, cfg: CFG,
+                 cost_model: Optional[CostModelFn] = None) -> None:
         if not cfg.structured or cfg.acyclic_order() is None:
             raise ValueError("Analyzer requires a structured, acyclic CFG")
         self.cfg = cfg
+        self.cost_model = cost_model
         self.region_by_header: Dict[int, LoopRegion] = {
             cfg.block_of[region.loop_index]: region for region in cfg.loops
         }
@@ -124,6 +139,9 @@ class Analyzer:
             if check is not None:
                 check(index, instr, out)
             transfer_instruction(instr, out)
+            if self.cost_model is not None:
+                for bucket, amount in self.cost_model(index, instr).items():
+                    out.add_cost(bucket, amount)
         return out
 
     def _propagate_body(

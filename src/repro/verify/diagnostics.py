@@ -21,12 +21,18 @@ Code ranges, by theme:
   * ``OU13x`` -- FIFO fabric sizing vs RAC port contracts,
   * ``OU14x`` -- timing closure,
   * ``OU15x`` -- coherence (cache snooping) hazards,
-  * ``OU16x`` -- interrupt routing,
+  * ``OU16x`` -- interrupt routing (``OU160``/``OU161``) and
+    throughput closure against a cycle budget (``OU162``/``OU163``,
+    backed by :mod:`repro.perfbound`),
   * ``OU17x`` -- scheduler capability tables;
 
 * ``OU2xx`` -- cross-OCP concurrency hazards in scheduled job
   streams, emitted by :mod:`repro.racelint` (may-happen-in-parallel
-  footprint overlaps, DMA aliasing, batch-widening effects).
+  footprint overlaps, DMA aliasing, batch-widening effects);
+
+* ``OU3xx`` -- static cycle-cost / WCET analysis, emitted by
+  :mod:`repro.perfbound` (unbounded cost, FIFO-sizing stall floors,
+  control-overhead domination, bus contention, SLA violations).
 """
 
 from __future__ import annotations
@@ -289,6 +295,20 @@ _ENTRIES: Sequence[CatalogEntry] = (
         "the controller: the duplicate vector aliases the first and "
         "its handler never fires independently.",
     ),
+    CatalogEntry(
+        "OU162", SEVERITY_ERROR, "throughput-unclosed",
+        "Even the best-case predicted cycle count of the firmware "
+        "exceeds the cycle budget derived from the requested clock "
+        "and deadline: the workload cannot meet its throughput "
+        "target on this configuration.",
+    ),
+    CatalogEntry(
+        "OU163", SEVERITY_WARNING, "throughput-marginal",
+        "The worst-case predicted cycle count exceeds the cycle "
+        "budget while the best case fits: throughput closure "
+        "depends on runtime conditions (memory latency, FIFO "
+        "stalls) the static bound cannot exclude.",
+    ),
     # -- system level: scheduler capability tables ------------------------
     CatalogEntry(
         "OU170", SEVERITY_ERROR, "capability-kernel-unserved",
@@ -341,6 +361,44 @@ _ENTRIES: Sequence[CatalogEntry] = (
         "A hazard only arises under batch concatenation: batching "
         "slides jobs to cumulative arena offsets, silently widening "
         "their read/write sets beyond the solo extent.",
+    ),
+    # -- program level: static cycle-cost / WCET analysis ------------------
+    CatalogEntry(
+        "OU300", SEVERITY_ERROR, "cost-unbounded",
+        "The cost analyzer cannot bound this program's cycle count "
+        "(unstructured control flow, a waitf on external state, an "
+        "unbounded transfer volume, or a RAC without a static timing "
+        "contract): the upper bound is infinite and no WCET "
+        "certificate is issued.",
+    ),
+    CatalogEntry(
+        "OU301", SEVERITY_WARNING, "fifo-stall-floor",
+        "FIFO sizing forces extra bus transactions: a transfer moves "
+        "more words than the FIFO holds, so the engine must round-trip "
+        "in FIFO-depth chunks and the lower cost bound already "
+        "includes the resulting stall floor. Deepening the FIFO would "
+        "lower the bound.",
+    ),
+    CatalogEntry(
+        "OU302", SEVERITY_WARNING, "control-dominated",
+        "Guaranteed control overhead (fetch/decode, prefetch, waits) "
+        "exceeds even the worst-case transfer plus compute cycles: "
+        "the program spends most of its time sequencing, not moving "
+        "or crunching data. Consider batched transfers or fewer, "
+        "larger operations.",
+    ),
+    CatalogEntry(
+        "OU303", SEVERITY_WARNING, "contention-unmodeled",
+        "The cost bound assumes exclusive bus ownership, but the "
+        "system elaborates more than one master: under contention "
+        "the true worst case exceeds the reported upper bound, so "
+        "the WCET certificate only holds for isolated runs.",
+    ),
+    CatalogEntry(
+        "OU304", SEVERITY_ERROR, "sla-exceeded",
+        "The worst-case predicted cycle count exceeds the requested "
+        "SLA cycle budget: the program cannot be guaranteed to meet "
+        "its deadline.",
     ),
 )
 

@@ -106,10 +106,12 @@ class AbsState:
     * ``ofr`` -- the offset register,
     * ``pushed[f]`` -- cumulative words moved into input FIFO ``f``,
     * ``drained[f]`` -- cumulative words moved out of output FIFO ``f``,
-    * ``steps`` -- executed instructions so far.
+    * ``steps`` -- executed instructions so far,
+    * ``costs[k]`` -- accumulated cycle-cost intervals per bucket
+      (used by :mod:`repro.perfbound`; empty unless a cost model runs).
     """
 
-    __slots__ = ("ofr", "pushed", "drained", "steps")
+    __slots__ = ("ofr", "pushed", "drained", "steps", "costs")
 
     def __init__(
         self,
@@ -117,14 +119,17 @@ class AbsState:
         pushed: Optional[Dict[int, Interval]] = None,
         drained: Optional[Dict[int, Interval]] = None,
         steps: Interval = ZERO,
+        costs: Optional[Dict[str, Interval]] = None,
     ) -> None:
         self.ofr = ofr
         self.pushed = dict(pushed or {})
         self.drained = dict(drained or {})
         self.steps = steps
+        self.costs = dict(costs or {})
 
     def copy(self) -> "AbsState":
-        return AbsState(self.ofr, self.pushed, self.drained, self.steps)
+        return AbsState(self.ofr, self.pushed, self.drained, self.steps,
+                        self.costs)
 
     # -- counter access ---------------------------------------------------
     def get_pushed(self, fifo: int) -> Interval:
@@ -139,10 +144,16 @@ class AbsState:
     def add_drained(self, fifo: int, count: int) -> None:
         self.drained[fifo] = self.get_drained(fifo).add_const(count)
 
+    def get_cost(self, bucket: str) -> Interval:
+        return self.costs.get(bucket, ZERO)
+
+    def add_cost(self, bucket: str, amount: Interval) -> None:
+        self.costs[bucket] = self.get_cost(bucket) + amount
+
     # -- lattice ---------------------------------------------------------
     def _merge(self, other: "AbsState", op: str) -> "AbsState":
-        def merge_maps(a: Dict[int, Interval], b: Dict[int, Interval]):
-            out: Dict[int, Interval] = {}
+        def merge_maps(a, b):
+            out = {}
             for key in set(a) | set(b):
                 out[key] = getattr(a.get(key, ZERO), op)(b.get(key, ZERO))
             return out
@@ -152,6 +163,7 @@ class AbsState:
             pushed=merge_maps(self.pushed, other.pushed),
             drained=merge_maps(self.drained, other.drained),
             steps=getattr(self.steps, op)(other.steps),
+            costs=merge_maps(self.costs, other.costs),
         )
 
     def join(self, other: "AbsState") -> "AbsState":
@@ -169,12 +181,14 @@ class AbsState:
             and self._normalized(self.pushed) == self._normalized(other.pushed)
             and self._normalized(self.drained)
             == self._normalized(other.drained)
+            and self._normalized(self.costs) == self._normalized(other.costs)
         )
 
     @staticmethod
-    def _normalized(counters: Dict[int, Interval]) -> Dict[int, Interval]:
+    def _normalized(counters: Dict) -> Dict:
         return {k: v for k, v in counters.items() if v != ZERO}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"AbsState(ofr={self.ofr}, pushed={self.pushed}, "
-                f"drained={self.drained}, steps={self.steps})")
+                f"drained={self.drained}, steps={self.steps}, "
+                f"costs={self.costs})")

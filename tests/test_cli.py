@@ -296,3 +296,66 @@ def test_suppress_turns_errors_into_exit_zero(tmp_path, capsys):
 def test_bad_bank_size_spec_is_exit_2(microcode_file, capsys):
     assert main(["verify", microcode_file, "--bank-size", "one=32"]) == 2
     assert main(["verify", microcode_file, "--bank-size", "32"]) == 2
+
+
+def test_perfbound_renders_bound(microcode_file, capsys):
+    code = main(["perfbound", microcode_file, "--rac", "dft:32"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cost bound [bounded]" in out
+    assert "transfer" in out and "tightness" in out
+
+
+def test_perfbound_json_shape(microcode_file, capsys):
+    import json
+
+    code = main(["perfbound", microcode_file, "--rac", "dft:32",
+                 "--mem-latency", "1:3", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["bounded"] is True
+    assert payload["total"]["lo"] <= payload["total"]["hi"]
+    assert set(payload["attribution"]) == {"transfer", "compute",
+                                           "control"}
+    assert payload["tightness"] >= 1.0
+    assert payload["findings"] == []
+
+
+def test_perfbound_sla_violation_exits_1(microcode_file, capsys):
+    code = main(["perfbound", microcode_file, "--rac", "dft:32",
+                 "--sla-cycles", "2"])
+    assert code == 1
+    assert "OU304" in capsys.readouterr().out
+
+
+def test_perfbound_refuses_without_contract(microcode_file, capsys):
+    code = main(["perfbound", microcode_file])
+    assert code == 1
+    assert "OU300" in capsys.readouterr().out
+
+
+def test_perfbound_bad_latency_spec_is_exit_2(microcode_file, capsys):
+    assert main(["perfbound", microcode_file, "--rac", "dft:32",
+                 "--mem-latency", "fast"]) == 2
+    assert main(["perfbound", microcode_file, "--rac", "dft:32",
+                 "--mem-latency", "5:1"]) == 2
+
+
+def test_diag_prints_catalog_entry(capsys):
+    code = main(["diag", "OU304"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "OU304" in out and "sla-exceeded" in out
+    assert "docs/ANALYSIS.md" in out
+
+
+def test_diag_lists_whole_catalog(capsys):
+    code = main(["diag"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for code_name in ("OU001", "OU110", "OU200", "OU300"):
+        assert code_name in out
+
+
+def test_diag_unknown_code_is_exit_2(capsys):
+    assert main(["diag", "OU999"]) == 2
