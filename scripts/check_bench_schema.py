@@ -15,9 +15,16 @@ field:
   with the smallest point pinned at ``speedup_vs_1 == 1.0``;
 * ``--require-mpsoc`` makes the section mandatory and
   ``--min-mpsoc-speedup X`` fails the gate if the largest point's
-  aggregate throughput regresses below ``X`` times the 1-OCP baseline.
+  aggregate throughput regresses below ``X`` times the 1-OCP baseline;
+* ``--baseline PATH`` compares the fresh artifact against the
+  committed one and fails on a >20% regression of the vectorized
+  path's wall-clock advantage (per-workload ``hot_speedup`` -- the
+  within-run fast/vectorized ratio, so the gate is robust to CI hosts
+  of different absolute speed).
 
 Reads stdin by default (pipe the CLI into it) or a file argument.
+A *missing* artifact file is itself a failure: the artifact is the
+deliverable, so "nothing to check" must not pass the gate.
 Exits non-zero with one line per violation.
 """
 
@@ -25,13 +32,26 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 WORKLOAD_FIELDS = (
-    "workload", "cycles", "naive_seconds", "fast_seconds", "skip_ratio",
-    "attribution", "perfbound", "speedup", "naive_cycles_per_sec",
-    "fast_cycles_per_sec",
+    "workload", "cycles", "naive_seconds", "fast_seconds",
+    "vectorized_seconds", "skip_ratio", "attribution", "perfbound",
+    "speedup", "hot_speedup", "naive_cycles_per_sec",
+    "fast_cycles_per_sec", "vectorized_cycles_per_sec",
 )
+
+#: hot_speedup may shrink to this fraction of the committed baseline
+#: before the gate fails (>20% wall-clock regression of the
+#: vectorized path)
+BASELINE_TOLERANCE = 0.8
+
+#: workloads whose idle-skip leg finishes faster than this are excluded
+#: from the baseline gate: a ratio of two sub-5ms timings is host
+#: noise, not a regression signal (the transfer-heavy workloads the
+#: vectorized lane exists for run >100ms and are always gated)
+MIN_GATE_SECONDS = 0.05
 PERFBOUND_FIELDS = (
     "predicted_lo", "predicted_hi", "measured", "tightness", "sound",
 )
@@ -69,8 +89,10 @@ def check_workload(row: object, label: str) -> list:
     cycles = row.get("cycles")
     if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 0:
         problems.append(f"{label}: cycles is {cycles!r}")
-    for field in ("naive_seconds", "fast_seconds", "skip_ratio", "speedup",
-                  "naive_cycles_per_sec", "fast_cycles_per_sec"):
+    for field in ("naive_seconds", "fast_seconds", "vectorized_seconds",
+                  "skip_ratio", "speedup", "hot_speedup",
+                  "naive_cycles_per_sec", "fast_cycles_per_sec",
+                  "vectorized_cycles_per_sec"):
         if field in row and not _is_number(row[field]):
             problems.append(f"{label}: {field} is not a number")
     attribution = row.get("attribution")
@@ -163,6 +185,51 @@ def check_mpsoc(section: object, min_speedup: float | None) -> list:
     return problems
 
 
+def check_against_baseline(payload: object, baseline: object) -> list:
+    """Per-workload hot_speedup regression gate vs the committed artifact.
+
+    Absolute wall-clock is incomparable across CI hosts, so the gate
+    compares ``hot_speedup`` (vectorized vs idle-skip within the *same*
+    run): a drop past :data:`BASELINE_TOLERANCE` means the vectorized
+    path itself got slower, whatever the host.
+    """
+    problems = []
+    if not isinstance(payload, dict) or not isinstance(baseline, dict):
+        return ["baseline: both artifacts must be JSON objects"]
+    fresh = {row.get("workload"): row
+             for row in payload.get("workloads", [])
+             if isinstance(row, dict)}
+    for row in baseline.get("workloads", []):
+        if not isinstance(row, dict):
+            continue
+        name = row.get("workload")
+        old = row.get("hot_speedup")
+        if not _is_number(old) or old <= 0:
+            continue  # workload predates the vectorized lane
+        baseline_fast = row.get("fast_seconds")
+        if not _is_number(baseline_fast) or baseline_fast < MIN_GATE_SECONDS:
+            continue  # too short for the ratio to be timing-stable
+        if name not in fresh:
+            problems.append(
+                f"baseline: workload {name!r} present in the committed "
+                f"artifact but missing from the fresh one"
+            )
+            continue
+        new = fresh[name].get("hot_speedup")
+        if not _is_number(new):
+            problems.append(
+                f"baseline: workload {name!r} lost its hot_speedup field"
+            )
+        elif new < BASELINE_TOLERANCE * old:
+            problems.append(
+                f"baseline: workload {name!r} vectorized-path speedup "
+                f"regressed {old:.2f}x -> {new:.2f}x (more than "
+                f"{100 * (1 - BASELINE_TOLERANCE):.0f}% slower than the "
+                f"committed artifact)"
+            )
+    return problems
+
+
 def main(argv) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", nargs="?",
@@ -171,9 +238,19 @@ def main(argv) -> int:
                         help="fail if the mpsoc section is absent")
     parser.add_argument("--min-mpsoc-speedup", type=float, default=None,
                         help="largest-point speedup_vs_1 floor")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed artifact to gate hot_speedup "
+                             "regressions against")
     args = parser.parse_args(argv[1:])
 
     if args.report:
+        if not os.path.exists(args.report):
+            print(
+                f"bench artifact missing: {args.report} was not "
+                f"produced (the bench must write it, not just pass)",
+                file=sys.stderr,
+            )
+            return 1
         with open(args.report, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     else:
@@ -202,6 +279,18 @@ def main(argv) -> int:
             )
         elif args.require_mpsoc:
             problems.append("input: mpsoc section is missing")
+        if args.baseline is not None:
+            if not os.path.exists(args.baseline):
+                problems.append(
+                    f"baseline: committed artifact {args.baseline} not "
+                    f"found (commit BENCH_simulator.json alongside the "
+                    f"code)"
+                )
+            else:
+                with open(args.baseline, "r", encoding="utf-8") as handle:
+                    problems.extend(
+                        check_against_baseline(payload, json.load(handle))
+                    )
 
     for problem in problems:
         print(problem, file=sys.stderr)

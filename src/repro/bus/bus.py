@@ -60,18 +60,28 @@ class SystemBus(Component):
         return self.memmap.add(slave_name, base, size, slave)
 
     # -- master API ------------------------------------------------------
-    def submit(self, request: BusRequest) -> BusTransfer:
+    def submit(
+        self, request: BusRequest, waiter: Optional[Component] = None
+    ) -> BusTransfer:
         """Queue a transaction; returns its completion handle.
 
         The address span is validated eagerly so that software bugs
         (unmapped banks, bursts running off the end of a region) surface
-        at the submitting instruction, like a bus error would.
+        at the submitting instruction, like a bus error would.  The
+        decode result is cached on the handle so the grant and the data
+        movement skip the memory-map walk.  ``waiter``, if given, is
+        poked when the transfer completes (vectorized dispatch).
         """
-        self.memmap.lookup(request.address, span_bytes=4 * request.burst)
-        transfer = BusTransfer(request=request, issue_cycle=self.now)
+        route = self.memmap.lookup(request.address, span_bytes=4 * request.burst)
+        transfer = BusTransfer(
+            request=request, issue_cycle=self.now, waiter=waiter, route=route
+        )
         self._pending.append(transfer)
         self.stats.incr("requests")
         self.stats.incr(f"requests.{request.master}")
+        # a new request makes the bus due (grant) this very cycle if
+        # idle -- drop its cached quiescence claim
+        self.poke()
         return transfer
 
     # -- zero-time debug access -------------------------------------------
@@ -119,9 +129,12 @@ class SystemBus(Component):
     def _grant(self, transfer: BusTransfer) -> None:
         self._pending.remove(transfer)
         request = transfer.request
-        region, offset = self.memmap.lookup(
-            request.address, span_bytes=4 * request.burst
-        )
+        if transfer.route is not None:
+            region, offset = transfer.route
+        else:
+            region, offset = self.memmap.lookup(
+                request.address, span_bytes=4 * request.burst
+            )
         latency_for = getattr(region.slave, "latency_for", None)
         if latency_for is not None:
             # address-aware slaves (e.g. SDRAM open-row model) charge
@@ -147,9 +160,21 @@ class SystemBus(Component):
 
     def _finish(self, transfer: BusTransfer) -> None:
         request = transfer.request
-        region, offset = self.memmap.lookup(
-            request.address, span_bytes=4 * request.burst
-        )
+        if transfer.route is not None:
+            region, offset = transfer.route
+        else:
+            region, offset = self.memmap.lookup(
+                request.address, span_bytes=4 * request.burst
+            )
+        waiter = transfer.waiter
+        if waiter is not None:
+            # completion unblocks the master: re-poll its quiescence
+            waiter.poke()
+        elif self.sim is not None:
+            # unknown master (raw submit): conservatively re-poll
+            # everyone rather than risk a stale quiescence claim
+            for comp in self.sim._components:
+                comp._wake_valid = False
         try:
             if request.kind is AccessKind.READ:
                 transfer.data = region.slave.read_burst(offset, request.burst)

@@ -19,6 +19,18 @@ class IRQLine:
         self.name = name
         self._pending = False
         self.raise_count = 0
+        #: components whose quiescence claim depends on this line
+        #: (CPU in WFI, scheduler slots); poked on every edge
+        self._watchers: List[object] = []
+
+    def watch(self, component: object) -> None:
+        """Poke ``component`` (wake-cache invalidation) on line edges."""
+        if component not in self._watchers:
+            self._watchers.append(component)
+
+    def _notify(self) -> None:
+        for watcher in self._watchers:
+            watcher.poke()
 
     @property
     def pending(self) -> bool:
@@ -29,10 +41,12 @@ class IRQLine:
         if not self._pending:
             self.raise_count += 1
         self._pending = True
+        self._notify()
 
     def clear(self) -> None:
         """Acknowledge: drive the line low."""
         self._pending = False
+        self._notify()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending" if self._pending else "idle"
@@ -44,10 +58,20 @@ class IRQController:
 
     def __init__(self) -> None:
         self._lines: List[IRQLine] = []
+        self._watchers: List[object] = []
+
+    def watch(self, component: object) -> None:
+        """Watch every line, present and future (e.g. a WFI'd CPU)."""
+        if component not in self._watchers:
+            self._watchers.append(component)
+        for line in self._lines:
+            line.watch(component)
 
     def register(self, line: IRQLine) -> int:
         """Attach a line; returns its interrupt number."""
         self._lines.append(line)
+        for watcher in self._watchers:
+            line.watch(watcher)
         return len(self._lines) - 1
 
     def line(self, number: int) -> IRQLine:

@@ -91,7 +91,27 @@ class BusProtocol:
         return cycles
 
     def transfer_cycles(self, total_beats: int, slave_latency: int = 0) -> int:
-        """Total bus occupancy of one logical transfer of ``total_beats``."""
+        """Total bus occupancy of one logical transfer of ``total_beats``.
+
+        Closed form over the chunked model (the per-chunk sum is kept
+        in :meth:`chunk_cycles`/:meth:`split_burst` and cross-checked
+        by the protocol test suite): every chunk pays the address phase
+        and the slave's first-beat latency, every beat pays its data
+        cycles, and arbitration is paid once for a locked transfer or
+        once per chunk otherwise.
+        """
+        if total_beats < 1:
+            raise ValueError("burst must move at least one word")
+        chunks = -(-total_beats // self.max_burst_beats)
+        total = chunks * (self.address_cycles + slave_latency)
+        total += total_beats * self.cycles_per_beat
+        total += self.arbitration_cycles * (1 if self.locked_chunks else chunks)
+        return total
+
+    def transfer_cycles_chunked(
+        self, total_beats: int, slave_latency: int = 0
+    ) -> int:
+        """Reference per-chunk summation (cross-check for the closed form)."""
         total = 0
         for index, beats in enumerate(self.split_burst(total_beats)):
             total += self.chunk_cycles(beats, slave_latency, first=index == 0)

@@ -19,7 +19,8 @@ original project shipped alongside its RTL:
 * ``table1``    -- regenerate the paper's Table I
 * ``transfer``  -- regenerate the cycles-per-word analysis
 * ``faults``    -- fault-injection demo (replay + recovery)
-* ``bench``     -- kernel wall-clock benchmark (naive vs idle-skip)
+* ``bench``     -- kernel wall-clock benchmark (naive vs idle-skip
+  vs vectorized trace-free hot mode)
 * ``profile``   -- traced workload run with cycle attribution,
   Perfetto/VCD export and a counter read-back differential check
 
@@ -726,7 +727,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="kernel wall-clock benchmark: naive vs idle-skip",
+        help="kernel wall-clock benchmark: naive vs idle-skip "
+             "vs vectorized (hot)",
     )
     p.add_argument("workloads", nargs="*",
                    help="workload names (default: all)")

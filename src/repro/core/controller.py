@@ -130,6 +130,19 @@ class OuessantController(Component):
         self.fifos_in = list(fifos_in)
         self.fifos_out = list(fifos_out)
         self.rac = rac
+        # the controller's quiescence claims are conditioned on FIFO
+        # occupancy and the RAC's end_op: re-poll whenever they change
+        for fifo in self.fifos_in:
+            fifo.watch(self)
+        for fifo in self.fifos_out:
+            fifo.watch(self)
+        rac.watch(self)
+
+    def _clear_fifo_watches(self) -> None:
+        for fifo in self.fifos_in:
+            fifo.set_free_watch(None)
+        for fifo in self.fifos_out:
+            fifo.set_occ_watch(None)
 
     # -- control ------------------------------------------------------------
     @property
@@ -189,6 +202,10 @@ class OuessantController(Component):
             self._stall_run = 0
 
     def _on_start(self) -> None:
+        # settle deferred skip accounting *before* the state change so
+        # the quiet cycles are charged to the state that sat through
+        # them, then invalidate the cached quiescence claim
+        self.sync_skips()
         if self.interface.registers.prog_size < 1:
             raise ControllerError("S set with PROG_SIZE == 0")
         self._pc = 0
@@ -209,11 +226,13 @@ class OuessantController(Component):
         # in flight (hung exec, trapped state, ...) back to IDLE so the
         # driver can retry.  An in-flight bus transfer simply completes
         # with nobody waiting on its handle.
+        self.sync_skips()
         if self._state is _State.IDLE:
             return
         if self._state not in (_State.HALTED, _State.ERROR):
             self.trace_event("abort", state=self._state.value, pc=self._pc)
         self._flush_stall(at=self.now)
+        self._clear_fifo_watches()
         self._state = _State.IDLE
         self._pending = None
         self._instr = None
@@ -242,6 +261,7 @@ class OuessantController(Component):
         setting S starts a fresh run which clears E and the code).
         """
         self._flush_stall(at=self.now)
+        self._clear_fifo_watches()
         self._state = _State.ERROR
         self._pending = None
         self._instr = None
@@ -283,6 +303,7 @@ class OuessantController(Component):
                 self._state = _State.FETCH
         elif state is _State.WAITF:
             if self._waitf_satisfied():
+                self._disarm_waitf_watch()
                 self._state = _State.FETCH
         if self._state is not state:
             # internal transition: the new state is charged from the
@@ -322,11 +343,17 @@ class OuessantController(Component):
             if state is _State.XFER_TO:
                 fifo = self.fifos_in[self._xfer_fifo]
                 stalled = fifo.free_push_words < 1
+                # under idle skipping the stalled tick branch (which
+                # arms the watch on the naive path) never runs: declare
+                # the resume threshold here so a hot-mode batch on the
+                # other side of the FIFO stops at the crossing cycle
+                fifo.set_free_watch(1 if stalled else None)
             else:
                 fifo = self.fifos_out[self._xfer_fifo]
                 chunk = min(self._xfer_remaining, self.bus_burst_threshold,
                             fifo.depth)
                 stalled = fifo.occupancy < chunk
+                fifo.set_occ_watch(chunk if stalled else None)
             return None if stalled else self.now
         if state in (_State.PREFETCH, _State.FETCH):
             if self._pending is not None and not self._pending.done:
@@ -353,7 +380,9 @@ class OuessantController(Component):
     def _tick_prefetch(self) -> None:
         if self._pending is None:
             words = min(self.interface.registers.prog_size, self.ibuf_size)
-            self._pending = self.interface.submit_read(PROGRAM_BANK, 0, words)
+            self._pending = self.interface.submit_read(
+                PROGRAM_BANK, 0, words, waiter=self
+            )
             return
         if self._pending.done:
             if self._pending.error:
@@ -392,7 +421,7 @@ class OuessantController(Component):
         # slow path: fetch one instruction word over the bus
         if self._pending is None:
             self._pending = self.interface.submit_read(
-                PROGRAM_BANK, self._pc, 1
+                PROGRAM_BANK, self._pc, 1, waiter=self
             )
             return
         if self._pending.done:
@@ -446,6 +475,7 @@ class OuessantController(Component):
         elif op is OuOp.WAITF:
             self._instr = instr
             self._state = _State.WAITF
+            self._arm_waitf_watch(instr)
         elif op is OuOp.JMP:
             if instr.imm >= self.interface.registers.prog_size:
                 raise ControllerError(
@@ -543,10 +573,13 @@ class OuessantController(Component):
         if chunk < 1:
             self.stats.incr("cycles.fifo_stall")
             self._stall_run += 1
+            # bound any consumer-side batch at the cycle one word frees
+            fifo.set_free_watch(1)
             return
         self._flush_stall(at=self.now)
+        fifo.set_free_watch(None)
         self._pending = self.interface.submit_read(
-            self._xfer_bank, self._xfer_offset, chunk
+            self._xfer_bank, self._xfer_offset, chunk, waiter=self
         )
         self._xfer_offset += chunk
         self._xfer_remaining -= chunk
@@ -574,8 +607,11 @@ class OuessantController(Component):
         if fifo.occupancy < chunk:
             self.stats.incr("cycles.fifo_stall")
             self._stall_run += 1
+            # bound any producer-side batch at the cycle the chunk fills
+            fifo.set_occ_watch(chunk)
             return
         self._flush_stall(at=self.now)
+        fifo.set_occ_watch(None)
         try:
             data = fifo.pop_many(chunk)
         except FIFOError as exc:
@@ -583,7 +619,7 @@ class OuessantController(Component):
             return
         self.stats.incr("words_from_rac", len(data))
         self._pending = self.interface.submit_write(
-            self._xfer_bank, self._xfer_offset, data
+            self._xfer_bank, self._xfer_offset, data, waiter=self
         )
         self._xfer_offset += chunk
         self._xfer_remaining -= chunk
@@ -601,6 +637,24 @@ class OuessantController(Component):
         return bus.protocol.max_burst_beats
 
     # -- waitf ---------------------------------------------------------------
+    def _arm_waitf_watch(self, instr: OuInstruction) -> None:
+        """Bound batches at the cycle the waited-on threshold crosses."""
+        if instr.direction is FIFODirection.INPUT:
+            if instr.fifo < len(self.fifos_in):
+                self.fifos_in[instr.fifo].set_free_watch(instr.count)
+        elif instr.fifo < len(self.fifos_out):
+            self.fifos_out[instr.fifo].set_occ_watch(instr.count)
+
+    def _disarm_waitf_watch(self) -> None:
+        instr = self._instr
+        if instr is None:  # pragma: no cover
+            return
+        if instr.direction is FIFODirection.INPUT:
+            if instr.fifo < len(self.fifos_in):
+                self.fifos_in[instr.fifo].set_free_watch(None)
+        elif instr.fifo < len(self.fifos_out):
+            self.fifos_out[instr.fifo].set_occ_watch(None)
+
     def _waitf_satisfied(self) -> bool:
         instr = self._instr
         if instr is None:  # pragma: no cover

@@ -108,9 +108,18 @@ class OuessantInterface(Component, BusSlave):
 
     # -- master side (burst engine) ---------------------------------------
     def submit_read(
-        self, bank: int, word_offset: int, words: int
+        self,
+        bank: int,
+        word_offset: int,
+        words: int,
+        waiter: Optional[Component] = None,
     ) -> BusTransfer:
-        """Issue a burst read of ``words`` from a bank."""
+        """Issue a burst read of ``words`` from a bank.
+
+        ``waiter`` is the component blocked on the transfer's
+        completion; the bus pokes it (re-polls its quiescence claim)
+        when the transfer finishes.
+        """
         if self.bus is None:
             raise ControllerError(f"{self.name} has no bus attached")
         address = self.translate(bank, word_offset, words)
@@ -123,11 +132,16 @@ class OuessantInterface(Component, BusSlave):
                 address=address,
                 burst=words,
                 priority=self.master_priority,
-            )
+            ),
+            waiter=waiter,
         )
 
     def submit_write(
-        self, bank: int, word_offset: int, data: List[int]
+        self,
+        bank: int,
+        word_offset: int,
+        data: List[int],
+        waiter: Optional[Component] = None,
     ) -> BusTransfer:
         """Issue a burst write of ``data`` into a bank (with snooping)."""
         if self.bus is None:
@@ -145,7 +159,8 @@ class OuessantInterface(Component, BusSlave):
                 burst=len(data),
                 data=list(data),
                 priority=self.master_priority,
-            )
+            ),
+            waiter=waiter,
         )
 
     # -- done / interrupt signalling ----------------------------------------
@@ -155,6 +170,9 @@ class OuessantInterface(Component, BusSlave):
         if self.registers.interrupt_enabled:
             self.irq.assert_()
         self.trace_event("done", interrupt=self.registers.interrupt_enabled)
+        # observers polling D without interrupts (standalone straps,
+        # register-poll drivers) sleep on this flag: re-poll them
+        self.wake_watchers()
 
     def signal_irq(self) -> None:
         """Extension ``irq`` instruction: interrupt without ending."""
@@ -179,6 +197,7 @@ class OuessantInterface(Component, BusSlave):
             name=self.registers.error_name,
             interrupt=self.registers.interrupt_enabled,
         )
+        self.wake_watchers()
 
     def attach_snooped_cache(self, cache: Cache) -> None:
         self.snooped_caches.append(cache)

@@ -64,6 +64,9 @@ class StandaloneSequencer(Component):
         self.stats = Stats()
         self._booted = False
         self._rearm = False
+        # the done-poll below sleeps indefinitely: the interface pokes
+        # its watchers whenever D is raised
+        ocp.interface.watch(self)
 
     def _program_registers(self) -> None:
         interface = self.ocp.interface

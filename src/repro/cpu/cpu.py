@@ -70,6 +70,10 @@ class CPU(Component):
         self.memory_base = memory_base
         self.bus = bus
         self.irq = irq
+        if irq is not None:
+            # a WFI'd CPU declares indefinite idleness; interrupt
+            # edges must re-poll it under vectorized dispatch
+            irq.watch(self)
         self.cost = cost_model or CostModel()
         self.regs: List[int] = [0] * 32
         self.pc = 0
@@ -368,5 +372,5 @@ class CPU(Component):
             request = BusRequest(master=self.name, kind=kind, address=address,
                                  burst=1, data=[value], priority=0)
             self._pending_rd = None
-        self._pending = self.bus.submit(request)
+        self._pending = self.bus.submit(request, waiter=self)
         self.stats.incr("mmio")

@@ -40,6 +40,11 @@ class FaultySlave(Component, BusSlave):
     regardless of how long each one takes.
     """
 
+    #: armed faults perturb other components mid-window: force the
+    #: simulator off the vectorized dispatch table onto the audited
+    #: idle-skip path
+    requires_full_dispatch = True
+
     def __init__(
         self,
         name: str,
@@ -138,6 +143,9 @@ class FaultyFIFO(FIFO):
     unless given explicitly.
     """
 
+    #: see FaultySlave: armed fault sites disable vectorized dispatch
+    requires_full_dispatch = True
+
     def __init__(
         self,
         name: str,
@@ -188,6 +196,9 @@ class MicrocodeCorruptor(Component):
     starts (the controller snapshots bank 0 in one burst).
     """
 
+    #: see FaultySlave: armed fault sites disable vectorized dispatch
+    requires_full_dispatch = True
+
     def __init__(
         self,
         name: str,
@@ -234,6 +245,9 @@ class ExecHang(Component):
     when the window closes, so finite hangs are purely a timing fault;
     an infinite hang is what the controller watchdog exists for.
     """
+
+    #: see FaultySlave: armed fault sites disable vectorized dispatch
+    requires_full_dispatch = True
 
     def __init__(
         self,

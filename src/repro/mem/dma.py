@@ -115,6 +115,9 @@ class DMAEngine(Component, BusSlave):
         return self._state is not _State.IDLE
 
     def _begin(self) -> None:
+        # CTRL writes arrive through a bus transfer mid-cycle: drop the
+        # cached indefinite-idle claim so dispatch re-polls us
+        self.poke()
         if self._count == 0:
             self._finish()
             return
@@ -186,7 +189,7 @@ class DMAEngine(Component, BusSlave):
             "burst", kind=request.kind.name.lower(),
             address=hex(request.address), words=request.burst,
         )
-        self._transfer = self.bus.submit(request)
+        self._transfer = self.bus.submit(request, waiter=self)
 
     def reset(self) -> None:
         self._ctrl = 0

@@ -309,10 +309,18 @@ def reconstruct_spans(
     Raises
     ------
     SimulationError
-        If the trace is truncated: dropped events would silently turn
-        into wrong span durations, so -- like the fault history -- the
+        If no trace exists (a hot-mode run records none) or the trace
+        is truncated: dropped events would silently turn into wrong
+        span durations, so -- like the fault history -- the
         reconstruction refuses to guess.
     """
+    if trace is None:
+        raise SimulationError(
+            "span reconstruction requested but no trace was recorded: "
+            "the run executed in hot mode (vectorized dispatch with "
+            "trace=None compiles spans down to plain counters). "
+            "Attach a Trace to the Simulator to reconstruct spans."
+        )
     if trace.truncated:
         raise SimulationError(
             f"span reconstruction requested from a truncated trace "

@@ -78,6 +78,12 @@ class RAC(Component):
             )
         self.inputs = list(inputs)
         self.outputs = list(outputs)
+        # the RAC's quiescence claims (starved collect, blocked emit,
+        # autostart) are conditioned on FIFO state: re-poll on changes
+        for fifo in self.inputs:
+            fifo.watch(self)
+        for fifo in self.outputs:
+            fifo.watch(self)
 
     # -- handshake -----------------------------------------------------------
     def start_op(self) -> None:
@@ -86,12 +92,16 @@ class RAC(Component):
         self.busy = True
         self.stats.incr("start_ops")
         self.trace_event("start_op", op=self.ops_completed + 1)
+        # the handshake gates both our own wake and the controller's
+        # EXEC_WAIT claim
+        self.wake_watchers()
 
     def _finish_op(self) -> None:
         self.busy = False
         self.end_op = True
         self.ops_completed += 1
         self.trace_event("end_op", completed=self.ops_completed)
+        self.wake_watchers()
 
     def reset(self) -> None:
         self.end_op = False
@@ -280,6 +290,85 @@ class StreamingRAC(RAC):
         if all_done:
             self._phase = _Phase.DONE
             self._finish_op()
+
+    # -- hot-mode batch lane -------------------------------------------------
+    #: the kernel may grant this RAC whole runs of cycles when it is
+    #: the only component due (see :meth:`tick_batch`)
+    can_batch = True
+
+    def tick_batch(self, budget: int) -> int:
+        """Fast-forward up to ``budget`` consecutive streaming ticks.
+
+        Granted only in hot mode (no trace) with this RAC the sole due
+        component, so nothing can observe the intermediate per-cycle
+        FIFO states; the aggregate state after ``consumed`` cycles is
+        bit-identical to ``consumed`` naive ticks.  Batches are bounded
+        by the armed FIFO stall watches (:meth:`FIFO.pop_crossing` /
+        :meth:`FIFO.push_crossing`) so a stalled controller resumes on
+        exactly the naive cycle.  Anything non-streaming (multi-port
+        RACs, overridden ``tick``) falls back to a single tick.
+        """
+        if (len(self.inputs) != 1 or len(self.outputs) != 1
+                or type(self).tick is not StreamingRAC.tick):
+            self.tick()
+            return 1
+        if self._phase is _Phase.COLLECT:
+            return self._batch_collect(budget)
+        if self._phase is _Phase.EMIT:
+            return self._batch_emit(budget)
+        # DONE (autostart pickup) and COMPUTE (timer expiry) are
+        # single-tick transitions
+        self.tick()
+        return 1
+
+    def _batch_collect(self, budget: int) -> int:
+        fifo = self.inputs[0]
+        need = self.items_in[0] - len(self._collected[0])
+        avail = min(need, fifo.occupancy)
+        if avail < 1:  # pragma: no cover - due implies words or done
+            self.tick()
+            return 1
+        rate = self.input_rate
+        cycles = -(-avail // rate)
+        crossing = fifo.pop_crossing()
+        if crossing is not None:
+            cycles = min(cycles, -(-crossing // rate))
+        cycles = min(cycles, budget)
+        words = min(avail, cycles * rate)
+        self._collected[0].extend(fifo.slab_pop_now(words))
+        self.stats.incr("words_in", words)
+        if len(self._collected[0]) >= self.items_in[0]:
+            # the tick that takes the last word also transitions
+            self._phase = _Phase.COMPUTE
+            self._compute_timer = self.compute_latency
+            self.trace_event("collect_done")
+        return cycles
+
+    def _batch_emit(self, budget: int) -> int:
+        fifo = self.outputs[0]
+        remaining = self.items_out[0] - self._emitted[0]
+        room = min(remaining, fifo.free_push_words)
+        if room < 1:  # pragma: no cover - due implies space or done
+            self.tick()
+            return 1
+        rate = self.output_rate
+        cycles = -(-room // rate)
+        crossing = fifo.push_crossing()
+        if crossing is not None:
+            cycles = min(cycles, -(-crossing // rate))
+        cycles = min(cycles, budget)
+        words = min(room, cycles * rate)
+        sent = self._emitted[0]
+        fifo.slab_push_now(self._to_emit[0][sent:sent + words])
+        fifo.note_high_water()
+        self._emitted[0] = sent + words
+        self.stats.incr("words_out", words)
+        if self._emitted[0] >= self.items_out[0]:
+            # finish on the same tick as the last push, like the
+            # naive emit loop
+            self._phase = _Phase.DONE
+            self._finish_op()
+        return cycles
 
     def reset(self) -> None:
         super().reset()

@@ -61,9 +61,19 @@ class FIFO(Component):
         self._push_ratio = width_push // self._atom_bits
         self._pop_ratio = width_pop // self._atom_bits
         self._capacity_atoms = depth * self._pop_ratio
+        # ``_atoms[_head:]`` is the live contents; pops advance ``_head``
+        # (O(1)) and the dead prefix is compacted away periodically
         self._atoms: List[int] = []
+        self._head = 0
         self._staged: List[int] = []
         self._pops_pending = 0
+        # stall watches: a producer stalled until ``free_push_words >=
+        # _min_free_watch`` / a consumer stalled until ``occupancy >=
+        # _min_occ_watch``.  They bound the hot-mode batch lane (the
+        # batch must end on the exact cycle the threshold crosses so the
+        # watcher resumes on the same cycle as the naive schedule).
+        self._min_free_watch: Optional[int] = None
+        self._min_occ_watch: Optional[int] = None
         #: windowed occupancy maximum, resettable by the perf-counter
         #: block at run start (the cumulative gauge lives in ``stats``)
         self.high_water_atoms = 0
@@ -73,16 +83,16 @@ class FIFO(Component):
     @property
     def occupancy(self) -> int:
         """Complete pop-side words currently available."""
-        return len(self._atoms) // self._pop_ratio
+        return (len(self._atoms) - self._head) // self._pop_ratio
 
     @property
     def occupancy_atoms(self) -> int:
-        return len(self._atoms)
+        return len(self._atoms) - self._head
 
     @property
     def free_push_words(self) -> int:
         """How many push-side words fit right now (staged included)."""
-        used = len(self._atoms) + len(self._staged)
+        used = len(self._atoms) - self._head + len(self._staged)
         return (self._capacity_atoms - used) // self._push_ratio
 
     @property
@@ -112,37 +122,205 @@ class FIFO(Component):
         for i in range(self._push_ratio):
             self._staged.append((value >> (i * self._atom_bits)) & atom_mask)
         self.stats.incr("pushes")
+        self.poke()
 
     def push_many(self, values: List[int]) -> None:
-        for value in values:
-            self.push(value)
+        """Stage a slab of push-side words in one array operation.
+
+        Semantics are identical to pushing the words one at a time: the
+        accepted prefix stays staged when a later word fails, and the
+        exception raised is the one the per-word loop would raise for
+        the first offending word.
+        """
+        if type(self).push is not FIFO.push:
+            # a subclass interposes on push (fault injection) -- keep
+            # the per-word path so it sees every word
+            for value in values:
+                self.push(value)
+            return
+        n = len(values)
+        if n == 0:
+            return
+        fit = min(n, self.free_push_words)
+        accepted = values if fit == n else values[:fit]
+        if accepted and (
+            min(accepted) < 0 or max(accepted) >> self.width_push
+        ):
+            # rare slow path: stage the valid prefix and raise at the
+            # first offender, exactly like the per-word loop
+            for value in accepted:
+                self.push(value)  # raises at the offender
+            raise AssertionError("unreachable")  # pragma: no cover
+        if self._push_ratio == 1:
+            self._staged.extend(accepted)
+        else:
+            atom_mask = (1 << self._atom_bits) - 1
+            staged = self._staged
+            for value in accepted:
+                for i in range(self._push_ratio):
+                    staged.append((value >> (i * self._atom_bits)) & atom_mask)
+        self.stats.incr("pushes", fit)
+        self.poke()
+        if fit < n:
+            raise FIFOError(f"push to full FIFO {self.name}")
 
     def pop(self) -> int:
         """Remove and return one pop-side word."""
         if not self.can_pop():
             raise FIFOError(f"pop from empty FIFO {self.name}")
-        value = 0
-        for i in range(self._pop_ratio):
-            value |= self._atoms.pop(0) << (i * self._atom_bits)
+        head = self._head
+        if self._pop_ratio == 1:
+            value = self._atoms[head]
+        else:
+            value = 0
+            for i in range(self._pop_ratio):
+                value |= self._atoms[head + i] << (i * self._atom_bits)
+        self._head = head + self._pop_ratio
+        self._maybe_compact()
         self.stats.incr("pops")
         self._pops_pending += 1
+        self.wake_watchers()
         return value
 
     def pop_many(self, count: int) -> List[int]:
-        return [self.pop() for _ in range(count)]
+        """Remove a slab of pop-side words in one array operation.
+
+        Identical to popping one at a time: if fewer than ``count``
+        words are available the available ones are consumed, then the
+        per-word empty-FIFO error is raised.
+        """
+        if type(self).pop is not FIFO.pop:
+            return [self.pop() for _ in range(count)]
+        if count <= 0:
+            return []
+        avail = self.occupancy
+        take = min(count, avail)
+        values = self._take_words(take)
+        if take < count:
+            raise FIFOError(f"pop from empty FIFO {self.name}")
+        return values
+
+    def _take_words(self, count: int) -> List[int]:
+        """Slab-remove ``count`` available pop-side words (no checks)."""
+        if count <= 0:
+            return []
+        head = self._head
+        ratio = self._pop_ratio
+        end = head + count * ratio
+        if ratio == 1:
+            values = self._atoms[head:end]
+        else:
+            bits = self._atom_bits
+            atoms = self._atoms
+            values = []
+            for base in range(head, end, ratio):
+                value = 0
+                for i in range(ratio):
+                    value |= atoms[base + i] << (i * bits)
+                values.append(value)
+        self._head = end
+        self._maybe_compact()
+        self.stats.incr("pops", count)
+        self._pops_pending += count
+        self.wake_watchers()
+        return values
+
+    def _maybe_compact(self) -> None:
+        head = self._head
+        if head > 512 and head * 2 > len(self._atoms):
+            del self._atoms[:head]
+            self._head = 0
 
     def peek(self) -> int:
         """Next pop-side word without removing it."""
         if not self.can_pop():
             raise FIFOError(f"peek on empty FIFO {self.name}")
+        head = self._head
         value = 0
         for i in range(self._pop_ratio):
-            value |= self._atoms[i] << (i * self._atom_bits)
+            value |= self._atoms[head + i] << (i * self._atom_bits)
         return value
 
     def drain(self) -> List[int]:
         """Pop everything currently visible (testing convenience)."""
         return self.pop_many(self.occupancy)
+
+    # -- stall watches (vectorized batch bounds) ---------------------------
+    def set_free_watch(self, words: Optional[int]) -> None:
+        """Arm (or clear) a stalled producer's free-space threshold."""
+        self._min_free_watch = words
+
+    def set_occ_watch(self, words: Optional[int]) -> None:
+        """Arm (or clear) a stalled consumer's occupancy threshold."""
+        self._min_occ_watch = words
+
+    def pop_crossing(self) -> Optional[int]:
+        """Pops after which an armed free-space watch first crosses.
+
+        Returns the smallest ``k >= 1`` such that popping ``k`` words
+        makes ``free_push_words >= _min_free_watch``, or ``None`` when
+        no producer watch is armed.  A batching consumer must not pop
+        more than ``k`` words past this cycle boundary in one host
+        call, so the stalled producer resumes on the naive cycle.
+        """
+        watch = self._min_free_watch
+        if watch is None:
+            return None
+        have = self._capacity_atoms - self.occupancy_atoms - len(self._staged)
+        need = watch * self._push_ratio - have
+        if need <= 0:
+            return 1
+        return max(1, -(-need // self._pop_ratio))
+
+    def push_crossing(self) -> Optional[int]:
+        """Pushes after which an armed occupancy watch first crosses.
+
+        Smallest ``k >= 1`` such that ``k`` more committed push-side
+        words make ``occupancy >= _min_occ_watch`` (``None`` when no
+        consumer watch is armed).
+        """
+        watch = self._min_occ_watch
+        if watch is None:
+            return None
+        need = watch * self._pop_ratio - self.occupancy_atoms
+        if need <= 0:
+            return 1
+        return max(1, -(-need // self._push_ratio))
+
+    # -- hot-mode slab transfers -------------------------------------------
+    def slab_push_now(self, values: List[int]) -> None:
+        """Publish a slab directly (hot batch lane only; no staging).
+
+        Only legal while the pushing component is the sole component
+        executing (the kernel's batch grant): nothing else can observe
+        the intermediate states, so skipping the stage/commit round
+        trip is unobservable.  High-water marks are reconciled by the
+        caller via :meth:`note_high_water` at batch end (occupancy is
+        monotone within one batch direction).
+        """
+        atoms = self._atoms
+        if self._push_ratio == 1:
+            atoms.extend(values)
+        else:
+            atom_mask = (1 << self._atom_bits) - 1
+            for value in values:
+                for i in range(self._push_ratio):
+                    atoms.append((value >> (i * self._atom_bits)) & atom_mask)
+        self.stats.incr("pushes", len(values))
+        self.wake_watchers()
+
+    def slab_pop_now(self, count: int) -> List[int]:
+        """Slab-remove without the trace round trip (hot batch lane)."""
+        values = self._take_words(count)
+        self._pops_pending = 0  # hot mode: no trace flush to schedule
+        return values
+
+    def note_high_water(self) -> None:
+        """Fold the current occupancy into the high-water gauges."""
+        occupancy = self.occupancy_atoms
+        self.stats.maximize("max_occupancy_atoms", occupancy)
+        if occupancy > self.high_water_atoms:
+            self.high_water_atoms = occupancy
 
     # -- clocked behaviour ------------------------------------------------
     def next_activity(self):
@@ -157,18 +335,20 @@ class FIFO(Component):
             # pops only happen inside an *active* consumer's tick, so
             # flushing here never records during a declared-idle window
             self._record("pop", words=self._pops_pending,
-                         occupancy_atoms=len(self._atoms))
+                         occupancy_atoms=self.occupancy_atoms)
             self._pops_pending = 0
         if self._staged:
             staged = len(self._staged)
             self._atoms.extend(self._staged)
             self._staged.clear()
-            occupancy = len(self._atoms)
+            occupancy = self.occupancy_atoms
             self.stats.maximize("max_occupancy_atoms", occupancy)
             if occupancy > self.high_water_atoms:
                 self.high_water_atoms = occupancy
             self._record("commit", atoms=staged,
                          occupancy_atoms=occupancy)
+            # newly published words may unstall a watching consumer
+            self.wake_watchers()
 
     def _record(self, event: str, **data: object) -> None:
         """Trace without claiming activity.
@@ -182,12 +362,15 @@ class FIFO(Component):
 
     def clear_high_water(self) -> None:
         """Restart the windowed occupancy maximum (perf-counter clear)."""
-        self.high_water_atoms = len(self._atoms)
+        self.high_water_atoms = self.occupancy_atoms
 
     def reset(self) -> None:
         self._atoms.clear()
+        self._head = 0
         self._staged.clear()
         self._pops_pending = 0
+        self._min_free_watch = None
+        self._min_occ_watch = None
         self.high_water_atoms = 0
         self.stats = Stats()
 

@@ -314,6 +314,10 @@ class ThroughputScheduler(Component):
         self.submitted = 0
         self.completed: Dict[str, JobResult] = {}
         self.completion_order: List[str] = []
+        # a running slot sleeps on its OCP's IRQ line: the edge must
+        # re-poll the scheduler under vectorized dispatch
+        for slot in self._slots.values():
+            slot.ocp.irq.watch(self)
         soc.sim.add(self)
 
     # -- submission (called from outside the clock) -----------------------
@@ -658,7 +662,7 @@ class ThroughputScheduler(Component):
 
     def _issue_write(self, slot: _OcpSlot) -> None:
         address, value = slot.writes.pop(0)
-        slot.transfer = self._soc.bus.submit(BusRequest(
+        slot.transfer = self._soc.bus.submit(waiter=self, request=BusRequest(
             master=slot.master, kind=AccessKind.WRITE, address=address,
             burst=1, data=[value], priority=0,
         ))
@@ -682,7 +686,7 @@ class ThroughputScheduler(Component):
         if not slot.ocp.irq.pending:
             return
         slot.ocp.irq.clear()
-        slot.transfer = self._soc.bus.submit(BusRequest(
+        slot.transfer = self._soc.bus.submit(waiter=self, request=BusRequest(
             master=slot.master, kind=AccessKind.READ,
             address=slot.reg_base + REG_CTRL, burst=1, priority=0,
         ))
@@ -712,7 +716,7 @@ class ThroughputScheduler(Component):
                 f"error code {code} after {batch.attempts} attempts "
                 f"(jobs {[job.job_id for job in batch.jobs]})"
             )
-        slot.transfer = self._soc.bus.submit(BusRequest(
+        slot.transfer = self._soc.bus.submit(waiter=self, request=BusRequest(
             master=slot.master, kind=AccessKind.WRITE,
             address=slot.reg_base + REG_CTRL, burst=1, data=[0], priority=0,
         ))
@@ -770,7 +774,7 @@ class ThroughputScheduler(Component):
             "complete", ocp=slot.index, batch=batch.batch_id,
             jobs=len(batch.jobs),
         )
-        slot.transfer = self._soc.bus.submit(BusRequest(
+        slot.transfer = self._soc.bus.submit(waiter=self, request=BusRequest(
             master=slot.master, kind=AccessKind.WRITE,
             address=slot.reg_base + REG_CTRL, burst=1, data=[0], priority=0,
         ))

@@ -38,13 +38,42 @@ The protocol and its correctness rules are documented in
 ``docs/SIMULATION.md``; ``Simulator(strict=True)`` cross-checks every
 declared-idle window by running the naive stepper through it and
 asserting that nothing observable happened.
+
+Vectorized dispatch
+-------------------
+
+Idle skipping only helps when *every* component is quiescent.  On
+transfer-heavy workloads one component (a streaming RAC, the bus) is
+live nearly every cycle, and the naive schedule still pays two Python
+calls per *quiescent* component per cycle.  ``Simulator(vectorized=
+True)`` (the default) adds a dispatch-table fast path: each
+component's ``next_activity()`` answer is cached and only invalidated
+when the component itself acts or another component *pokes* it
+(:meth:`Component.poke`, FIFO/IRQ/bus wake wiring), so an executed
+cycle touches only the components that are actually due.  Per-cycle
+skip reconciliation is deferred: a quiescent component's
+:meth:`Component.on_skip` runs lazily, just before its next real tick
+(or at the public ``step``/``run_until`` boundary), covering exactly
+the cycles it sat out.
+
+On top of the dispatch table, *hot mode* (vectorized dispatch with no
+trace attached) lets a component that is the only one due fast-forward
+through a run of consecutive ticks in one host call
+(:meth:`Component.tick_batch`) -- the FIFO slab transfers used by
+streaming accelerators.  Both paths are bit-exact against the naive
+schedule; the equivalence suite in ``tests/test_idle_skip.py`` gates
+naive vs idle-skip vs vectorized on clean and fault-injected seeds.
+
+Components that must observe every cycle (waveform probes, fault
+injectors) set :attr:`Component.requires_full_dispatch`; registering
+one forces the whole simulator back onto the audited idle-skip path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .errors import DeadlockError, SimulationError
 from .tracing import Trace
@@ -59,10 +88,30 @@ class Component:
     per-cycle counters, :meth:`on_skip`) to take part in idle skipping.
     """
 
+    #: set True on components whose mere presence must disable the
+    #: vectorized dispatch table (waveform probes sample every cycle,
+    #: fault injectors perturb other components mid-window); the
+    #: simulator then falls back to the audited idle-skip path
+    requires_full_dispatch = False
+
+    #: True on components implementing :meth:`tick_batch`
+    can_batch = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.sim: Optional["Simulator"] = None
         self._detached = False
+        #: components whose quiescence claim depends on this one's
+        #: state; poked (wake-cache invalidated) whenever it changes
+        self._watchers: List["Component"] = []
+        # vectorized-dispatch bookkeeping (owned by the Simulator):
+        # cached next_activity() answer, its validity, the first cycle
+        # whose tick/on_skip has not been accounted yet, and the cycle
+        # of the last real tick (commit-phase membership marker)
+        self._wake: Optional[int] = None
+        self._wake_valid = False
+        self._synced = 0
+        self._ran_at = -1
 
     # -- lifecycle -----------------------------------------------------
     def attach(self, sim: "Simulator") -> None:
@@ -117,6 +166,58 @@ class Component:
         consecutive no-op ticks would have applied (stat counters,
         wait-timer decrements) -- nothing observable.
         """
+
+    def tick_batch(self, budget: int) -> int:
+        """Execute up to ``budget`` consecutive ticks in one host call.
+
+        Hot-mode hook (``can_batch = True``): called only when this
+        component is the *sole* active one, tracing is off, and no
+        other component wakes for at least ``budget`` cycles.  The
+        implementation must be cycle-for-cycle equivalent to that many
+        naive ticks and must return early (the count actually
+        consumed, at least 1) at any tick whose effects could wake
+        another component -- poking it so the kernel re-polls at the
+        exact naive cycle.
+        """
+        self.tick()
+        return 1
+
+    # -- vectorized-dispatch helpers ----------------------------------
+    def poke(self) -> None:
+        """Invalidate this component's cached quiescence claim.
+
+        Any code that changes state a *quiescent* component's
+        ``next_activity`` answer depends on must poke it, or the
+        dispatch table would trust a stale claim.
+        """
+        self._wake_valid = False
+
+    def watch(self, component: "Component") -> None:
+        """Register ``component`` to be poked by :meth:`wake_watchers`."""
+        if component not in self._watchers:
+            self._watchers.append(component)
+
+    def wake_watchers(self) -> None:
+        """Poke this component and everything watching it."""
+        self._wake_valid = False
+        for watcher in self._watchers:
+            watcher._wake_valid = False
+
+    def sync_skips(self) -> None:
+        """Apply any deferred ``on_skip`` reconciliation *now*.
+
+        Used before externally-driven state mutation (a CTRL register
+        write flipping the controller's FSM): pending quiescent cycles
+        must be charged to the *old* state before it changes.  Also
+        invalidates the wake cache.  No-op outside vectorized dispatch.
+        """
+        sim = self.sim
+        if sim is not None and sim._dispatching:
+            pending = sim.cycle - self._synced
+            if pending > 0:
+                self.on_skip(pending)
+                self._synced = sim.cycle
+        self._wake_valid = False
 
     # -- helpers -------------------------------------------------------
     @property
@@ -217,6 +318,14 @@ class Simulator:
         Enable the quiescence fast path (default True).  With it off
         the kernel is the plain two-phase stepper; results must be
         bit-identical either way.
+    vectorized:
+        Enable the dispatch-table fast path on top of idle skipping
+        (default True): quiescent components are not even dispatched,
+        and -- when no trace is attached ("hot mode") -- a solely
+        active component may batch runs of consecutive ticks.  Results
+        must be bit-identical to both other schedules.  Automatically
+        disabled by ``strict``/``profile_time`` and by registering any
+        component with :attr:`Component.requires_full_dispatch`.
     strict:
         Paranoia mode: every declared-idle window is executed through
         the naive stepper as well, asserting that no component emitted
@@ -240,12 +349,21 @@ class Simulator:
         idle_skip: bool = True,
         strict: bool = False,
         profile_time: bool = False,
+        vectorized: bool = True,
     ) -> None:
         self.cycle = 0
         self.trace = trace
         self.idle_skip = idle_skip
         self.strict = strict
         self.profile_time = profile_time
+        self.vectorized = (
+            vectorized and idle_skip and not strict and not profile_time
+        )
+        #: registered components that veto the dispatch table
+        self._full_dispatch = 0
+        #: True while inside a vectorized step/run_until epoch (skip
+        #: reconciliation is deferred per component during this time)
+        self._dispatching = False
         #: name of the component that most recently emitted an event
         self.last_active: Optional[str] = None
         self._components: List[Component] = []
@@ -265,6 +383,8 @@ class Simulator:
             )
         self._names.add(component.name)
         self._components.append(component)
+        if component.requires_full_dispatch:
+            self._full_dispatch += 1
         component.attach(self)
         return component
 
@@ -287,6 +407,8 @@ class Simulator:
             )
         self._components.remove(component)
         self._names.discard(component.name)
+        if component.requires_full_dispatch:
+            self._full_dispatch -= 1
         if self.last_active == component.name:
             # never let DeadlockError diagnostics name a component
             # that is no longer in the system
@@ -394,12 +516,208 @@ class Simulator:
                 "active during a declared-idle window"
             )
 
+    # -- vectorized dispatch ---------------------------------------------
+    @property
+    def dispatch_active(self) -> bool:
+        """True when the dispatch-table fast path is in effect."""
+        return self.vectorized and self._full_dispatch == 0
+
+    @property
+    def hot(self) -> bool:
+        """True when running trace-free on the dispatch table.
+
+        Hot runs keep every counter and final state bit-exact but
+        record no trace events, so span reconstruction is impossible
+        for them (``repro.obs`` refuses loudly).
+        """
+        return self.trace is None and self.dispatch_active
+
+    def _dispatch_begin(self) -> None:
+        """Open a vectorized epoch at a public ``step``/``run_until``.
+
+        Anything may have mutated component state between public calls
+        (register backdoors, FIFO drains in test harnesses), so every
+        cached wake is dropped; deferred-skip accounting starts from
+        the current cycle because all prior cycles are fully settled.
+        """
+        self._dispatching = True
+        now = self.cycle
+        for comp in self._components:
+            comp._wake_valid = False
+            comp._synced = now
+
+    def _dispatch_end(self) -> None:
+        """Close the epoch: flush every deferred ``on_skip``.
+
+        After this, stats and timers are exactly what the naive
+        schedule would show at this cycle -- callers may inspect any
+        component state.
+        """
+        now = self.cycle
+        for comp in self._components:
+            pending = now - comp._synced
+            if pending > 0:
+                comp.on_skip(pending)
+                comp._synced = now
+        self._dispatching = False
+
+    def _poll(self, comp: Component, now: int) -> Optional[int]:
+        """Re-poll a component's quiescence claim with settled accounting.
+
+        ``next_activity`` implementations read self-timed counters
+        (``wait`` timers, watchdogs) that deferred-skip accounting
+        leaves stale; flushing the pending ``on_skip`` first makes the
+        claim exactly what the naive schedule would compute at ``now``.
+        """
+        pending = now - comp._synced
+        if pending > 0:
+            comp.on_skip(pending)
+            comp._synced = now
+        comp._wake = wake = comp.next_activity()
+        comp._wake_valid = True
+        return wake
+
+    def _dispatch_scan(
+        self, bound: int
+    ) -> Tuple[int, Optional[Component], int]:
+        """One pass over the cached quiescence claims.
+
+        Returns ``(due, sole, horizon)``: how many components are due
+        this cycle, the single due component when there is exactly one
+        (the hot-batch candidate), and the earliest strictly-future
+        wake clamped to ``bound``.  The scan stops as soon as a second
+        due component turns up -- a full cycle has to run then and the
+        horizon is irrelevant (later components keep their caches and
+        are re-polled by :meth:`_dispatch_cycle` where needed).
+        """
+        now = self.cycle
+        due = 0
+        sole: Optional[Component] = None
+        horizon = bound
+        for comp in self._components:
+            if comp._wake_valid:
+                wake = comp._wake
+            else:  # inlined _poll: this loop runs before every event
+                pending = now - comp._synced
+                if pending > 0:
+                    comp.on_skip(pending)
+                    comp._synced = now
+                comp._wake = wake = comp.next_activity()
+                comp._wake_valid = True
+            if wake is None:
+                continue
+            if wake <= now:
+                due += 1
+                if due > 1:
+                    break
+                sole = comp
+            elif wake < horizon:
+                horizon = wake
+        return due, sole, horizon
+
+    def _dispatch_skip(self, cycles: int) -> None:
+        """Fast-forward a quiescent window; ``on_skip`` stays deferred."""
+        self.cycle += cycles
+        self._skipped += cycles
+        self._skip_windows += 1
+
+    def _dispatch_cycle(self) -> None:
+        """Execute one cycle touching only the components that are due.
+
+        Visibility matches the naive schedule exactly: the single tick
+        pass runs in registration order, re-polling each component when
+        the pass reaches it -- so a *forward* poke (an earlier
+        component waking a later one) lands the same cycle, while a
+        *backward* poke takes effect next cycle, which is precisely
+        when the naive two-phase schedule would surface it.  The commit
+        sweep again walks registration order so same-cycle trace events
+        keep their naive order, and picks up components whose commit
+        phase can still observe a backward poke (a FIFO staged into by
+        a later producer).
+
+        In hot mode (no trace), a solely-due component supporting
+        :meth:`Component.tick_batch` may instead consume a whole run of
+        cycles, bounded by ``limit`` and by every other component's
+        declared wake.
+        """
+        now = self.cycle
+        components = self._components
+        for comp in components:
+            if comp._wake_valid:
+                wake = comp._wake
+            else:  # inlined _poll (hot loop)
+                pending = now - comp._synced
+                if pending > 0:
+                    comp.on_skip(pending)
+                    comp._synced = now
+                comp._wake = wake = comp.next_activity()
+                comp._wake_valid = True
+            if wake is None or wake > now:
+                continue
+            pending = now - comp._synced
+            if pending > 0:
+                comp.on_skip(pending)
+            comp._synced = now + 1
+            comp._ran_at = now
+            comp.tick()
+            comp._wake_valid = False
+        for comp in components:
+            if comp._ran_at == now:
+                comp.commit()
+            elif not comp._wake_valid:
+                wake = self._poll(comp, now)
+                if wake is not None and wake <= now:
+                    comp.commit()
+                    comp._wake_valid = False
+        self.cycle = now + 1
+        self._ticked += 1
+
+    def _dispatch_batch(self, sole: Component, horizon: int) -> None:
+        """Run the hot-mode batch lane for a sole due component.
+
+        Preconditions established by the caller from a
+        :meth:`_dispatch_scan`: tracing off, exactly one component due
+        this cycle, that component opts in via ``can_batch``, and every
+        other component either sleeps past ``horizon`` or is poke-wired
+        (indefinitely idle).  The batch itself is additionally bounded
+        inside ``tick_batch`` by FIFO stall-watch thresholds so stalled
+        consumers wake on the exact naive cycle.
+        """
+        now = self.cycle
+        pending = now - sole._synced
+        if pending > 0:
+            sole.on_skip(pending)
+        consumed = sole.tick_batch(horizon - now)
+        if consumed < 1:  # pragma: no cover - defensive
+            consumed = 1
+        sole._synced = now + consumed
+        sole._wake_valid = False
+        self.cycle = now + consumed
+        self._ticked += consumed
+
     def step(self, cycles: int = 1) -> None:
         """Advance the clock by ``cycles`` cycles."""
         target = self.cycle + cycles
         if not self.idle_skip:
             while self.cycle < target:
                 self._tick_all()
+            return
+        if self.dispatch_active:
+            self._dispatch_begin()
+            try:
+                hot = self.trace is None
+                while self.cycle < target:
+                    due, sole, horizon = self._dispatch_scan(target)
+                    if due == 0:
+                        self._dispatch_skip(horizon - self.cycle)
+                        continue
+                    if (hot and due == 1 and sole.can_batch
+                            and horizon - self.cycle >= 2):
+                        self._dispatch_batch(sole, horizon)
+                        continue
+                    self._dispatch_cycle()
+            finally:
+                self._dispatch_end()
             return
         while self.cycle < target:
             wake = self._wake_cycle()
@@ -431,14 +749,29 @@ class Simulator:
         """
         start = self.cycle
         deadline = start + max_cycles
+        if self.idle_skip and self.dispatch_active:
+            self._dispatch_begin()
+            try:
+                hot = self.trace is None
+                while not predicate():
+                    if self.cycle >= deadline:
+                        self._raise_deadlock(max_cycles, what)
+                    bound = min(deadline, self.cycle + self.max_skip_chunk)
+                    due, sole, horizon = self._dispatch_scan(bound)
+                    if due == 0:
+                        self._dispatch_skip(horizon - self.cycle)
+                        continue
+                    if (hot and due == 1 and sole.can_batch
+                            and horizon - self.cycle >= 2):
+                        self._dispatch_batch(sole, horizon)
+                        continue
+                    self._dispatch_cycle()
+            finally:
+                self._dispatch_end()
+            return self.cycle - start
         while not predicate():
             if self.cycle >= deadline:
-                last = self.last_active or "<none>"
-                raise DeadlockError(
-                    f"{what} not reached within {max_cycles} cycles "
-                    f"(stuck at cycle {self.cycle}, last active "
-                    f"component: {last})"
-                )
+                self._raise_deadlock(max_cycles, what)
             if self.idle_skip:
                 wake = self._wake_cycle()
                 bound = min(deadline, self.cycle + self.max_skip_chunk)
@@ -448,6 +781,14 @@ class Simulator:
                     continue
             self._tick_all()
         return self.cycle - start
+
+    def _raise_deadlock(self, max_cycles: int, what: str) -> None:
+        last = self.last_active or "<none>"
+        raise DeadlockError(
+            f"{what} not reached within {max_cycles} cycles "
+            f"(stuck at cycle {self.cycle}, last active "
+            f"component: {last})"
+        )
 
     # -- introspection ----------------------------------------------------
     def profile(self) -> SimProfile:

@@ -81,6 +81,10 @@ class SoC:
         system-level integrity analyzer (:mod:`repro.soclint`) after
         elaboration, raising :class:`ConfigurationError` on any
         error-severity finding.
+    vectorized:
+        Enables the kernel's dispatch-table fast path (default; see
+        ``docs/SIMULATION.md``).  Automatically disabled by strict
+        mode, armed fault injectors and waveform probes.
     """
 
     def __init__(
@@ -97,6 +101,7 @@ class SoC:
         idle_skip: bool = True,
         strict: bool = False,
         profile_time: bool = False,
+        vectorized: bool = True,
         clock_mhz: float = 50.0,
     ) -> None:
         self.sim = Simulator(
@@ -104,6 +109,7 @@ class SoC:
             idle_skip=idle_skip,
             strict=strict,
             profile_time=profile_time,
+            vectorized=vectorized,
         )
         self.bus = SystemBus("bus", protocol=protocol)
         self.sim.add(self.bus)

@@ -86,17 +86,14 @@ def bit_reverse(value: int, bits: int) -> int:
     return out
 
 
-def fft_q15(
+def fft_q15_scalar(
     re: Sequence[int], im: Sequence[int]
 ) -> Tuple[List[int], List[int]]:
-    """Bit-exact iterative radix-2 DIT FFT in Q15.
+    """Pure-Python reference for :func:`fft_q15` (kept for cross-checking).
 
-    Scales by 1/2 at every stage, so the output equals ``DFT(x) / N`` --
-    the standard fixed-point convention (guarantees no overflow).  This
-    is the arithmetic the DFT RAC behavioural model executes.
-
-    Parameters are the real and imaginary parts as Q15 integers; the
-    result is returned the same way.
+    One butterfly at a time, exactly as written in the paper's datapath
+    description; the vectorized :func:`fft_q15` below must agree with
+    this bit for bit.
     """
     n = len(re)
     if n != len(im):
@@ -133,6 +130,76 @@ def fft_q15(
                 xi[idx + span] = (ai - ti) >> 1
         span *= 2
     return xr, xi
+
+
+# Per-size FFT plan: bit-reversal permutation, per-stage butterfly index
+# arrays and twiddle tables, all as int64 ndarrays.  Sizes in practice
+# are a handful of powers of two, so an unbounded cache is fine.
+_FFT_PLANS: dict = {}
+
+
+def _fft_plan(n: int):
+    plan = _FFT_PLANS.get(n)
+    if plan is None:
+        stages = n.bit_length() - 1
+        rev = np.array([bit_reverse(i, stages) for i in range(n)],
+                       dtype=np.int64)
+        cos_t, sin_t = twiddle_table_q15(n)
+        cos_a = np.array(cos_t, dtype=np.int64)
+        sin_a = np.array(sin_t, dtype=np.int64)
+        stage_ix = []
+        span = 1
+        every = np.arange(n, dtype=np.int64)
+        for _stage in range(stages):
+            stride = n // (2 * span)
+            top = every[(every & span) == 0]
+            widx = (top & (span - 1)) * stride
+            stage_ix.append((top, top + span, cos_a[widx], sin_a[widx]))
+            span *= 2
+        plan = (rev, stage_ix)
+        _FFT_PLANS[n] = plan
+    return plan
+
+
+def fft_q15(
+    re: Sequence[int], im: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Bit-exact iterative radix-2 DIT FFT in Q15.
+
+    Scales by 1/2 at every stage, so the output equals ``DFT(x) / N`` --
+    the standard fixed-point convention (guarantees no overflow).  This
+    is the arithmetic the DFT RAC behavioural model executes.
+
+    Parameters are the real and imaginary parts as Q15 integers; the
+    result is returned the same way.
+
+    Internally the butterflies of each stage run as whole-array int64
+    operations; int64 ``*``, ``+`` and arithmetic ``>>`` are exact, so
+    the result is bit-identical to :func:`fft_q15_scalar` (enforced by
+    tests).
+    """
+    n = len(re)
+    if n != len(im):
+        raise ValueError("re/im length mismatch")
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"FFT size must be a power of two, got {n}")
+    rev, stage_ix = _fft_plan(n)
+    half = 1 << 14
+
+    xr = np.asarray(re, dtype=np.int64)[rev]
+    xi = np.asarray(im, dtype=np.int64)[rev]
+    for top, bot, wr, wi in stage_ix:
+        br = xr[bot]
+        bi = xi[bot]
+        tr = ((br * wr + half) >> 15) - ((bi * wi + half) >> 15)
+        ti = ((br * wi + half) >> 15) + ((bi * wr + half) >> 15)
+        ar = xr[top]
+        ai = xi[top]
+        xr[top] = (ar + tr) >> 1
+        xi[top] = (ai + ti) >> 1
+        xr[bot] = (ar - tr) >> 1
+        xi[bot] = (ai - ti) >> 1
+    return xr.tolist(), xi.tolist()
 
 
 def direct_dft_q15(
@@ -223,13 +290,8 @@ def idct1_q15(coefs: Sequence[int]) -> List[int]:
     return out
 
 
-def idct2_q15(block: Sequence[Sequence[int]]) -> List[List[int]]:
-    """Bit-exact fixed-point 2-D 8x8 IDCT (rows then columns).
-
-    Input: 8x8 integer DCT coefficients (JPEG dequantized range).
-    Output: 8x8 integers saturated to 16 bits.  This is the arithmetic
-    of the IDCT RAC and of the software IDCT kernel.
-    """
+def idct2_q15_scalar(block: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Pure-Python reference for :func:`idct2_q15` (kept for cross-checking)."""
     if len(block) != IDCT_SIZE or any(len(r) != IDCT_SIZE for r in block):
         raise ValueError("block must be 8x8")
     rows = [idct1_q15(row) for row in block]
@@ -240,6 +302,31 @@ def idct2_q15(block: Sequence[Sequence[int]]) -> List[List[int]]:
          for c in range(IDCT_SIZE)]
         for r in range(IDCT_SIZE)
     ]
+
+
+_IDCT_MATRIX_NP = np.array(_IDCT_MATRIX, dtype=np.int64)
+
+
+def idct2_q15(block: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Bit-exact fixed-point 2-D 8x8 IDCT (rows then columns).
+
+    Input: 8x8 integer DCT coefficients (JPEG dequantized range).
+    Output: 8x8 integers saturated to 16 bits.  This is the arithmetic
+    of the IDCT RAC and of the software IDCT kernel.
+
+    Implemented as two int64 matrix products with rounding shifts --
+    exact integer arithmetic, bit-identical to :func:`idct2_q15_scalar`
+    (enforced by tests).
+    """
+    if len(block) != IDCT_SIZE or any(len(r) != IDCT_SIZE for r in block):
+        raise ValueError("block must be 8x8")
+    half = 1 << (IDCT_COEF_BITS - 1)
+    arr = np.asarray(block, dtype=np.int64)
+    # Row pass: rows[r] = idct1(block[r]); column pass: one more 1-D
+    # transform down each column of the row result.
+    rows = (arr @ _IDCT_MATRIX_NP.T + half) >> IDCT_COEF_BITS
+    cols = (_IDCT_MATRIX_NP @ rows + half) >> IDCT_COEF_BITS
+    return np.clip(cols, -(1 << 15), (1 << 15) - 1).tolist()
 
 
 def idct2_reference(block: Sequence[Sequence[int]]) -> np.ndarray:

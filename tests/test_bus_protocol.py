@@ -86,3 +86,27 @@ def test_bad_protocol_parameters_rejected():
         BusProtocol("bad", 1, 1, 1, 0)
     with pytest.raises(ConfigurationError):
         BusProtocol("bad", 1, 1, 0, 4)
+
+
+@given(st.integers(1, 2048), st.integers(0, 6))
+def test_closed_form_matches_chunked_reference(total, latency):
+    """The O(1) transfer_cycles formula used on the kernel's hot path
+    must equal the per-chunk summation for every catalogue protocol --
+    the burst lane's cycle accounting is only legal because of this."""
+    for protocol in ALL_PROTOCOLS:
+        assert protocol.transfer_cycles(total, latency) == (
+            protocol.transfer_cycles_chunked(total, latency)
+        ), protocol.name
+
+
+@given(st.integers(1, 1024), st.integers(0, 4), st.integers(1, 7),
+       st.integers(0, 3), st.integers(1, 3), st.integers(1, 300),
+       st.booleans())
+def test_closed_form_matches_chunked_on_random_protocols(
+    total, latency, arb, addr, per_beat, max_beats, locked
+):
+    protocol = BusProtocol("fuzz", arb, addr, per_beat, max_beats,
+                           locked_chunks=locked)
+    assert protocol.transfer_cycles(total, latency) == (
+        protocol.transfer_cycles_chunked(total, latency)
+    )

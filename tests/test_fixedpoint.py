@@ -148,3 +148,42 @@ def test_interleave_rejects_mismatch():
         fp.interleave_complex([1, 2], [3])
     with pytest.raises(ValueError):
         fp.deinterleave_complex([1, 2, 3])
+
+
+# -- vectorized datapath vs scalar reference (hot-path bit-exactness) -------
+
+@given(st.data(), st.sampled_from([2, 4, 8, 16, 64, 256]))
+@settings(max_examples=40, deadline=None)
+def test_fft_q15_vectorized_matches_scalar_reference(data, n):
+    """The numpy FFT used on the simulator's hot path must be
+    bit-identical to the retained pure-Python butterfly, sample for
+    sample, including q15 rounding and the per-stage >>1 scaling."""
+    word = st.integers(-(1 << 15), (1 << 15) - 1)
+    re = data.draw(st.lists(word, min_size=n, max_size=n))
+    im = data.draw(st.lists(word, min_size=n, max_size=n))
+    assert fp.fft_q15(re, im) == fp.fft_q15_scalar(re, im)
+
+
+def test_fft_q15_vectorized_matches_scalar_at_extremes():
+    for n in (2, 8, 1024):
+        lo = [-(1 << 15)] * n
+        hi = [(1 << 15) - 1] * n
+        assert fp.fft_q15(lo, hi) == fp.fft_q15_scalar(lo, hi)
+        assert fp.fft_q15(hi, lo) == fp.fft_q15_scalar(hi, lo)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_idct2_q15_vectorized_matches_scalar_reference(data):
+    """The matmul IDCT must reproduce the scalar row/column passes
+    bit-exactly, saturation included."""
+    coef = st.integers(-(1 << 15), (1 << 15) - 1)
+    block = data.draw(st.lists(st.lists(coef, min_size=8, max_size=8),
+                               min_size=8, max_size=8))
+    assert fp.idct2_q15(block) == fp.idct2_q15_scalar(block)
+
+
+def test_idct2_q15_vectorized_matches_scalar_at_extremes():
+    for fill in (-(1 << 15), (1 << 15) - 1):
+        block = [[fill] * 8 for _ in range(8)]
+        assert fp.idct2_q15(block) == fp.idct2_q15_scalar(block)

@@ -240,13 +240,20 @@ def test_default_component_is_always_active():
 
 # -- whole-SoC equivalence (property-style, seeded) -------------------------
 
-def _run_case(case, idle_skip, plan=None, strict=False):
-    """Run one differential-harness workload; capture all observables."""
-    trace = Trace()
-    soc = SoC(racs=[case.rac()], trace=trace, idle_skip=idle_skip,
-              strict=strict)
+def _execute(case, plan=None, trace=None, **soc_kw):
+    """Elaborate, program and run one differential-harness workload.
+
+    Returns ``(soc, residual)`` so callers can pick their own
+    observables (the hot-mode tests need the live objects, not a
+    rendered snapshot).
+    """
+    soc = SoC(racs=[case.rac()], trace=trace, **soc_kw)
     if plan is not None:
         inject_faults(soc, plan)
+        # armed fault injectors must deterministically force the
+        # kernel off the dispatch-table fast path, whatever the
+        # requested mode (satellite c)
+        assert not soc.sim.dispatch_active
     soc.write_ram(IN, case.inputs)
     soc.write_ram(PROG, case.program.words())
     ocp = soc.ocp
@@ -259,9 +266,19 @@ def _run_case(case, idle_skip, plan=None, strict=False):
     while ocp.fifos_out[0].occupancy != previous:
         previous = ocp.fifos_out[0].occupancy
         soc.sim.step(50)
+    return soc, previous
+
+
+def _run_case(case, idle_skip, plan=None, strict=False, vectorized=True):
+    """Run one differential-harness workload; capture all observables."""
+    trace = Trace()
+    soc, residual = _execute(case, plan=plan, trace=trace,
+                             idle_skip=idle_skip, strict=strict,
+                             vectorized=vectorized)
+    ocp = soc.ocp
     return {
         "memory": soc.read_ram(OUT, case.total),
-        "residual": previous,
+        "residual": residual,
         "cycle": soc.sim.cycle,
         "trace": trace.dump(),
         "controller_stats": ocp.controller.stats.as_dict(),
@@ -271,26 +288,37 @@ def _run_case(case, idle_skip, plan=None, strict=False):
 
 @pytest.mark.parametrize("index", range(N_EQUIVALENCE))
 def test_equivalence_random_workloads(index):
-    """Same seeded SoC workload, naive vs idle-skip, clean and faulted:
-    memory, residuals, traces, cycle counts and statistics all equal."""
+    """Same seeded SoC workload, naive vs idle-skip vs vectorized
+    dispatch, clean and faulted: memory, residuals, traces, cycle
+    counts and statistics all equal."""
     seed = SEED_BASE + 100_000 + index
     rng = random.Random(seed)
     case = Case(rng)
 
-    naive, naive_prof = _run_case(case, idle_skip=False)
-    fast, fast_prof = _run_case(case, idle_skip=True)
+    naive, naive_prof = _run_case(case, idle_skip=False, vectorized=False)
+    fast, fast_prof = _run_case(case, idle_skip=True, vectorized=False)
+    vec, vec_prof = _run_case(case, idle_skip=True, vectorized=True)
     assert fast == naive, f"idle-skip diverged at seed {seed}"
+    assert vec == naive, f"vectorized dispatch diverged at seed {seed}"
     assert naive_prof.skipped == 0
     assert fast_prof.ticked + fast_prof.skipped == fast_prof.cycles
+    assert vec_prof.ticked + vec_prof.skipped == vec_prof.cycles
 
     plan = FaultPlan.random_stalls(
         seed, n_events=rng.randint(1, 4), sites=("ram",), max_index=6,
         max_stall=25,
     )
-    naive_faulted, _ = _run_case(case, idle_skip=False, plan=plan)
-    fast_faulted, _ = _run_case(case, idle_skip=True, plan=plan)
+    naive_faulted, _ = _run_case(case, idle_skip=False, plan=plan,
+                                 vectorized=False)
+    fast_faulted, _ = _run_case(case, idle_skip=True, plan=plan,
+                                vectorized=False)
+    vec_faulted, _ = _run_case(case, idle_skip=True, plan=plan,
+                               vectorized=True)
     assert fast_faulted == naive_faulted, (
         f"idle-skip diverged under stall faults at seed {seed}"
+    )
+    assert vec_faulted == naive_faulted, (
+        f"vectorized dispatch diverged under stall faults at seed {seed}"
     )
     # when a stall actually fired (short programs can finish before the
     # scheduled access index), the cycle count must have moved with it
@@ -307,6 +335,136 @@ def test_equivalence_strict_mode_audits_idle_claims(index):
     naive, _ = _run_case(case, idle_skip=False)
     strict, _ = _run_case(case, idle_skip=True, strict=True)
     assert strict == naive, f"strict-mode divergence at seed {seed}"
+    # asking for the fast path under strict must not change anything:
+    # strict mode wins and forces full dispatch
+    strict_vec, _ = _run_case(case, idle_skip=True, strict=True,
+                              vectorized=True)
+    assert strict_vec == naive, (
+        f"strict+vectorized divergence at seed {seed}"
+    )
+
+
+# -- trace-free hot mode (tentpole: spans compile down to counters) ---------
+
+def test_hot_mode_counters_match_trace_derived_values():
+    """A trace-free hot run must leave every architectural observable
+    and every live counter bit-identical to a traced run -- and its
+    perf registers must equal the counters *re-derived from the traced
+    run's span forest*, closing the loop between the two accounting
+    paths."""
+    from repro.obs import derive_counters
+
+    case = Case(random.Random(SEED_BASE + 300_000))
+    trace = Trace()
+    ref_soc, ref_residual = _execute(case, trace=trace, idle_skip=True,
+                                     vectorized=True)
+    hot_soc, hot_residual = _execute(case, trace=None, idle_skip=True,
+                                     vectorized=True)
+    assert hot_soc.sim.hot  # genuinely ran trace-free on the table
+
+    assert hot_residual == ref_residual
+    assert (hot_soc.read_ram(OUT, case.total)
+            == ref_soc.read_ram(OUT, case.total))
+    assert hot_soc.sim.cycle == ref_soc.sim.cycle
+    assert (hot_soc.ocp.controller.stats.as_dict()
+            == ref_soc.ocp.controller.stats.as_dict())
+    assert hot_soc.bus.stats.as_dict() == ref_soc.bus.stats.as_dict()
+
+    derived = derive_counters(trace, ref_soc.ocp,
+                              end_cycle=ref_soc.sim.cycle)
+    assert hot_soc.ocp.controller.perf.snapshot() == derived
+
+
+def test_hot_mode_span_reconstruction_refuses_loudly():
+    """Hot runs record no events; asking for spans afterwards must be
+    a loud, actionable error rather than an empty forest."""
+    from repro.obs import reconstruct_spans
+
+    case = Case(random.Random(SEED_BASE + 310_000))
+    soc, _ = _execute(case, trace=None, idle_skip=True, vectorized=True)
+    assert soc.sim.hot
+    with pytest.raises(SimulationError, match="hot mode"):
+        reconstruct_spans(soc.sim.trace)
+
+
+# -- overlapping DMA bursts + controller prefetch (satellite b) -------------
+
+def _run_dma_overlap(idle_skip, vectorized, seed):
+    """OCP run with a DMA copy bursting across the same bus.
+
+    The DMA engine contends with the controller's whole-ibuf PREFETCH
+    burst and with every mvtc/mvfc transfer, so each component's
+    ``next_activity`` claim is exercised against wake-ups caused by a
+    *third party's* bus traffic -- the exact overlap the idle-skip
+    audit worried about.
+    """
+    from repro.mem.dma import (
+        CTRL_START as DMA_START,
+        REG_COUNT as DMA_COUNT,
+        REG_CTRL as DMA_CTRL,
+        REG_DST as DMA_DST,
+        REG_SRC as DMA_SRC,
+    )
+
+    rng = random.Random(seed)
+    case = Case(rng)
+    dma_src = OUT + 0x4000
+    dma_dst = OUT + 0x8000
+    dma_words = 64 + rng.randrange(64)
+    payload = [rng.getrandbits(32) for _ in range(dma_words)]
+
+    trace = Trace()
+    soc = SoC(racs=[case.rac()], trace=trace, idle_skip=idle_skip,
+              vectorized=vectorized, with_dma=True)
+    soc.write_ram(IN, case.inputs)
+    soc.write_ram(PROG, case.program.words())
+    soc.write_ram(dma_src, payload)
+    ocp = soc.ocp
+    for bank, base in {0: PROG, 1: IN, 2: OUT}.items():
+        ocp.interface.write_word(REG_BANK_BASE + 4 * bank, base)
+    ocp.interface.write_word(REG_PROG_SIZE, len(case.program))
+    # kick both masters in the same cycle: the DMA's first read burst
+    # races the controller's microcode prefetch for the bus
+    soc.dma.write_word(DMA_SRC, dma_src)
+    soc.dma.write_word(DMA_DST, dma_dst)
+    soc.dma.write_word(DMA_COUNT, dma_words)
+    soc.dma.write_word(DMA_CTRL, DMA_START)
+    ocp.interface.write_word(REG_CTRL, CTRL_S | CTRL_IE)
+    soc.run_until(lambda: ocp.done and soc.dma.done, max_cycles=500_000)
+    previous = -1
+    while ocp.fifos_out[0].occupancy != previous:
+        previous = ocp.fifos_out[0].occupancy
+        soc.sim.step(50)
+    assert soc.read_ram(dma_dst, dma_words) == payload
+    return {
+        "memory": soc.read_ram(OUT, case.total),
+        "residual": previous,
+        "cycle": soc.sim.cycle,
+        "trace": trace.dump(),
+        "controller_stats": ocp.controller.stats.as_dict(),
+        "bus_stats": soc.bus.stats.as_dict(),
+    }, soc.sim.profile()
+
+
+@pytest.mark.parametrize("index", range(6))
+def test_equivalence_dma_bursts_overlap_prefetch_and_xfers(index):
+    """Naive vs idle-skip vs vectorized with a DMA engine hammering
+    the bus during controller PREFETCH and data transfers: no mode may
+    skip past a wake-up caused by the other master's bursts."""
+    seed = SEED_BASE + 400_000 + index
+    naive, naive_prof = _run_dma_overlap(idle_skip=False,
+                                         vectorized=False, seed=seed)
+    fast, _ = _run_dma_overlap(idle_skip=True, vectorized=False,
+                               seed=seed)
+    vec, _ = _run_dma_overlap(idle_skip=True, vectorized=True,
+                              seed=seed)
+    assert naive_prof.skipped == 0
+    assert fast == naive, f"idle-skip diverged under DMA overlap ({seed})"
+    assert vec == naive, f"vectorized diverged under DMA overlap ({seed})"
+    # the contention must be real: both masters issued bus requests
+    assert naive["bus_stats"].get("requests.dma", 0) > 0
+    assert any(key.startswith("requests.ocp") for key in
+               naive["bus_stats"])
 
 
 # -- multi-OCP scheduler contention (satellite: scale-out equivalence) ------
